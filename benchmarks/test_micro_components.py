@@ -1,0 +1,175 @@
+"""Micro-benchmarks of the substrate hot paths (wall-clock, pytest-benchmark).
+
+These complement the figure reproductions: the virtual-time engine makes the
+*experiments* machine-independent, while these measure the real throughput
+of the data structures a production deployment would care about.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blocking.blocks import BlockCollection
+from repro.core.profile import EntityProfile
+from repro.datasets.registry import load_dataset
+from repro.matching.matcher import EditDistanceMatcher, JaccardMatcher
+from repro.matching.similarity import levenshtein
+from repro.metablocking.weights import CommonBlocksScheme
+from repro.metablocking.wnp import incremental_wnp
+from repro.pier.ipes import IPES
+from repro.core.comparison import WeightedComparison
+from repro.priority.bloom import ScalableBloomFilter
+from repro.priority.bounded_pq import BoundedPriorityQueue
+
+
+@pytest.fixture(scope="module")
+def census():
+    return load_dataset("census_2m", scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def indexed_census(census):
+    collection = BlockCollection(max_block_size=200)
+    for profile in census:
+        collection.add_profile(profile)
+    return collection
+
+
+def test_bench_tokenize_profile(benchmark, census):
+    profiles = list(census)[:500]
+
+    def tokenize_all():
+        total = 0
+        for profile in profiles:
+            fresh = EntityProfile(profile.pid, profile.attributes)
+            total += len(fresh.tokens())
+        return total
+
+    assert benchmark(tokenize_all) > 0
+
+
+def test_bench_incremental_blocking(benchmark, census):
+    profiles = list(census)[:800]
+
+    def index_all():
+        collection = BlockCollection(max_block_size=200)
+        for profile in profiles:
+            collection.add_profile(profile)
+        return len(collection)
+
+    assert benchmark(index_all) > 0
+
+
+def test_bench_cbs_weighting(benchmark, census, indexed_census):
+    scheme = CommonBlocksScheme()
+    rng = random.Random(0)
+    pids = [profile.pid for profile in census]
+    pairs = [(rng.choice(pids), rng.choice(pids)) for _ in range(2000)]
+
+    def weigh_all():
+        return sum(
+            scheme.weight(indexed_census, x, y) for x, y in pairs if x != y
+        )
+
+    benchmark(weigh_all)
+
+
+def test_bench_iwnp(benchmark, census, indexed_census):
+    rng = random.Random(1)
+    pids = [profile.pid for profile in census]
+    target = pids[0]
+    candidates = rng.sample(pids[1:], 200)
+
+    def clean():
+        return incremental_wnp(indexed_census, target, candidates)
+
+    result = benchmark(clean)
+    assert result.total_candidates == 200
+
+
+def test_bench_bounded_pq_enqueue_dequeue(benchmark):
+    rng = random.Random(2)
+    keys = [rng.random() for _ in range(5000)]
+
+    def churn():
+        queue = BoundedPriorityQueue(capacity=1024)
+        for index, key in enumerate(keys):
+            queue.enqueue(index, key)
+        drained = 0
+        while queue:
+            queue.dequeue()
+            drained += 1
+        return drained
+
+    assert benchmark(churn) <= 1024
+
+
+def test_bench_scalable_bloom(benchmark):
+    def fill_and_probe():
+        bloom = ScalableBloomFilter(initial_capacity=1024)
+        for i in range(20_000):
+            bloom.add(i, i + 1)
+        return sum(1 for i in range(20_000) if (i, i + 1) in bloom)
+
+    assert benchmark(fill_and_probe) == 20_000
+
+
+def test_bench_levenshtein_banded(benchmark):
+    rng = random.Random(3)
+    alphabet = "abcdefghij "
+    texts = ["".join(rng.choice(alphabet) for _ in range(120)) for _ in range(60)]
+
+    def measure():
+        total = 0
+        for i in range(0, len(texts) - 1, 2):
+            total += levenshtein(texts[i], texts[i + 1], max_distance=36)
+        return total
+
+    assert benchmark(measure) > 0
+
+
+def test_bench_matcher_js(benchmark, census):
+    matcher = JaccardMatcher(0.35)
+    profiles = list(census)[:400]
+
+    def run_matcher():
+        hits = 0
+        for i in range(0, len(profiles) - 1, 2):
+            hits += matcher.evaluate(profiles[i], profiles[i + 1]).is_match
+        return hits
+
+    benchmark(run_matcher)
+
+
+def test_bench_matcher_ed(benchmark, census):
+    matcher = EditDistanceMatcher(0.7)
+    profiles = list(census)[:200]
+
+    def run_matcher():
+        hits = 0
+        for i in range(0, len(profiles) - 1, 2):
+            hits += matcher.evaluate(profiles[i], profiles[i + 1]).is_match
+        return hits
+
+    benchmark(run_matcher)
+
+
+def test_bench_ipes_insert_dequeue(benchmark):
+    rng = random.Random(4)
+    comparisons = [
+        WeightedComparison.of(rng.randrange(2000), 2000 + rng.randrange(2000), rng.random() * 10)
+        for _ in range(5000)
+    ]
+
+    def churn():
+        strategy = IPES()
+        for weighted in comparisons:
+            strategy._insert_weighted(weighted)
+        drained = 0
+        while strategy.dequeue() is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(churn) > 0

@@ -1,0 +1,128 @@
+"""Adaptive building & construction: the paper's second motivating scenario.
+
+An architectural design model (available upfront, semi-structured IFC-like
+profiles) must be matched against products observed on the construction
+site, whose monitoring profiles (point-cloud/sensor extractions with a
+different, AutomationML-like schema) *stream in* while construction
+progresses.  Early matches let pre-fabrication adapt (e.g. reposition
+pre-drilled holes), so progressive behaviour matters.
+
+This example builds the two heterogeneous collections from scratch with the
+public API — no generator involved — and runs Clean-Clean PIER over the
+streaming site observations.
+
+Run with:  python examples/construction_pipeline.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    Dataset,
+    EntityProfile,
+    ERKind,
+    GroundTruth,
+    Increment,
+    StreamingEngine,
+    make_stream_plan,
+    make_system,
+)
+from repro.evaluation import make_matcher
+
+ELEMENT_TYPES = ("wall", "beam", "column", "slab", "panel", "truss", "girder")
+MATERIALS = ("timber", "steel", "concrete", "cltpanel", "glulam")
+
+
+def build_design_model(rng: random.Random, n_elements: int):
+    """IFC-like design profiles: typed elements with ids and placements."""
+    profiles, specs = [], []
+    for index in range(n_elements):
+        element_type = rng.choice(ELEMENT_TYPES)
+        material = rng.choice(MATERIALS)
+        tag = f"{element_type}{index:03d}"
+        level = rng.randint(1, 4)
+        grid = f"grid{rng.choice('abcdef')}{rng.randint(1, 9)}"
+        profiles.append(
+            EntityProfile(
+                index,
+                {
+                    "GlobalId": tag,
+                    "IfcType": f"ifc{element_type}",
+                    "Material": material,
+                    "Storey": f"level {level}",
+                    "Placement": grid,
+                },
+                source=0,
+            )
+        )
+        specs.append((tag, element_type, material, level, grid))
+    return profiles, specs
+
+
+def observe_on_site(rng: random.Random, specs, start_pid: int):
+    """AutomationML-like monitoring profiles for a (shuffled) subset."""
+    profiles, matches = [], []
+    pid = start_pid
+    observed = list(enumerate(specs))
+    rng.shuffle(observed)
+    for design_pid, (tag, element_type, material, level, grid) in observed:
+        if rng.random() < 0.15:
+            continue  # element not yet installed
+        attributes = {
+            "scanLabel": tag if rng.random() < 0.8 else tag.replace("0", "o", 1),
+            "detectedClass": element_type,
+            "floor": str(level),
+        }
+        if rng.random() < 0.6:
+            attributes["materialEstimate"] = material
+        if rng.random() < 0.5:
+            attributes["nearGrid"] = grid
+        profiles.append(EntityProfile(pid, attributes, source=1))
+        matches.append((design_pid, pid))
+        pid += 1
+    return profiles, matches
+
+
+def main() -> None:
+    rng = random.Random(42)
+    design_profiles, specs = build_design_model(rng, n_elements=400)
+    site_profiles, matches = observe_on_site(rng, specs, start_pid=len(design_profiles))
+
+    dataset = Dataset(
+        "construction",
+        design_profiles + site_profiles,
+        GroundTruth(matches),
+        ERKind.CLEAN_CLEAN,
+    )
+    print(f"Design model: {len(design_profiles)} elements; "
+          f"site observations: {len(site_profiles)}; "
+          f"expected matches: {len(matches)}")
+
+    # The design model is available upfront (one big increment at t=0);
+    # site observations stream in at 4 scans-batches per virtual second.
+    design_increment = Increment(0, tuple(design_profiles))
+    site_increments = [
+        Increment(i + 1, tuple(site_profiles[start : start + 10]))
+        for i, start in enumerate(range(0, len(site_profiles), 10))
+    ]
+    plan = make_stream_plan([design_increment] + site_increments, rate=4.0)
+
+    engine = StreamingEngine(make_matcher("JS"), budget=120.0)
+    system = make_system("I-PES", dataset)
+    result = engine.run(system, plan, dataset.ground_truth)
+
+    print(f"\nMatched {len(result.duplicates)} site observations to design elements")
+    print(f"Pair completeness: {result.final_pc:.3f}")
+    print("PC while the site stream is still arriving:")
+    for t in (5.0, 10.0, 20.0, 40.0):
+        print(f"  t={t:5.1f}s  PC={result.curve.pc_at_time(t):.3f}")
+
+    print("\nSample alignment (first 3):")
+    for pid_x, pid_y in sorted(result.duplicates)[:3]:
+        print(f"  design {dataset[pid_x].text()!r}")
+        print(f"    site {dataset[pid_y].text()!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fraud / identity monitoring: the paper's anti-financial-crime motivation.
+
+Account registrations stream into a monitoring system.  Fraudsters re-use
+identities with small variations; every duplicate identity should be flagged
+*as early as possible* after its profile arrives ("the earlier the illicit
+is detected, the better, since follow-up crimes may be prevented").
+
+This example streams Febrl-style identity records and compares the
+*detection latency* — virtual time between the arrival of the second record
+of a duplicate pair and the moment the match is emitted — of the adaptive
+PIER algorithm (I-PES) against the incremental baseline (I-BASE).
+
+Run with:  python examples/fraud_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    StreamingEngine,
+    load_dataset,
+    make_stream_plan,
+    make_system,
+    split_into_increments,
+)
+from repro.evaluation import make_matcher
+
+
+def detection_latencies(plan, result) -> list[float]:
+    """Latency per found match: emission time minus later-arrival time."""
+    arrival_of: dict[int, float] = {}
+    for when, increment in plan:
+        for profile in increment:
+            arrival_of[profile.pid] = when
+    latencies = []
+    for emitted_at, (pid_x, pid_y) in result.match_events:
+        ready_at = max(arrival_of[pid_x], arrival_of[pid_y])
+        latencies.append(max(0.0, emitted_at - ready_at))
+    return latencies
+
+
+def main() -> None:
+    # A registration stream: 2000 identity records, ~40% involved in
+    # duplicate clusters, arriving as 100 bursts at 8 bursts/second.
+    dataset = load_dataset("census_2m", scale=0.65)
+    increments = split_into_increments(dataset, 100, seed=1)
+    plan = make_stream_plan(increments, rate=8.0)
+    print(f"Monitoring stream: {len(dataset)} identity records, "
+          f"{len(dataset.ground_truth)} duplicate pairs, 8 bursts/s\n")
+
+    for algorithm in ("I-PES", "I-BASE"):
+        engine = StreamingEngine(make_matcher("JS"), budget=40.0)
+        system = make_system(algorithm, dataset)
+        result = engine.run(system, plan, dataset.ground_truth)
+        latencies = detection_latencies(plan, result)
+        mean_latency = sum(latencies) / len(latencies) if latencies else float("nan")
+        print(f"{algorithm}:")
+        print(f"  duplicate identities flagged: {len(result.duplicates)}")
+        print(f"  pair completeness:            {result.final_pc:.3f}")
+        print(f"  PC two seconds into stream:   {result.curve.pc_at_time(2.0):.3f}")
+        print(f"  PC at half the budget:        {result.curve.pc_at_time(20.0):.3f}")
+        print(f"  mean detection latency:       {mean_latency:.2f}s (virtual)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

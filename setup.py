@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package needed by PEP 660
+editable installs; this shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` on fuller environments) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Incremental token blocking and block cleaning."""
+
+from repro.blocking.blocks import Block, BlockCollection
+from repro.blocking.cleaning import block_filtering, block_ghosting
+from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlocking
+
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "BlockingCosts",
+    "IncrementalTokenBlocking",
+    "block_filtering",
+    "block_ghosting",
+]

@@ -1,0 +1,53 @@
+"""Block cleaning techniques: ghosting and filtering.
+
+Block *purging* (dropping oversized blocks globally) lives inside
+:class:`~repro.blocking.blocks.BlockCollection` because it is part of
+incremental index maintenance.  This module implements the per-profile
+cleaning steps applied at comparison-generation time:
+
+* **Block ghosting** (Gazzarri & Herschel, ICDE 2021) — given the set of
+  blocks ``B_x`` containing a profile ``p_x``, drop the least representative
+  (largest) blocks: every block ``b`` with ``|b| > |b_min| / β`` is removed,
+  where ``b_min`` is the smallest block in ``B_x`` and ``β ∈ (0, 1]``.
+  Smaller β keeps more blocks; β = 1 keeps only blocks as small as the
+  smallest.
+* **Block filtering** (Papadakis et al.) — keep only the ``ratio`` fraction
+  of smallest blocks per profile; provided as an optional alternative
+  cleaning stage.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.blocks import Block
+
+__all__ = ["block_ghosting", "block_filtering"]
+
+
+def block_ghosting(blocks: list[Block], beta: float) -> list[Block]:
+    """Apply block ghosting to a profile's block list.
+
+    Returns the blocks whose size does not exceed ``|b_min| / beta``.  The
+    result preserves the input order.  An empty input yields an empty list.
+    """
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    if not blocks:
+        return []
+    min_size = min(len(block) for block in blocks)
+    threshold = min_size / beta
+    return [block for block in blocks if len(block) <= threshold]
+
+
+def block_filtering(blocks: list[Block], ratio: float) -> list[Block]:
+    """Keep the ``ratio`` fraction of smallest blocks (at least one).
+
+    Standard block filtering: a profile's largest blocks contribute mostly
+    superfluous comparisons, so each profile retains only its smallest
+    blocks.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    if not blocks:
+        return []
+    keep = max(1, int(round(len(blocks) * ratio)))
+    return sorted(blocks, key=len)[:keep]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the available synthetic benchmark datasets with their statistics.
+``run``
+    Run one algorithm over one dataset stream and print the PC progress,
+    summary, and optionally export the curve as JSON/CSV.
+``compare``
+    Run several algorithms over the same stream and print the comparison
+    tables (a small interactive version of the Figure 7 benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.increments import make_stream_plan, split_into_increments
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.evaluation.experiments import SYSTEM_NAMES, make_matcher, make_system
+from repro.evaluation.io import run_result_to_json, write_curve_csv
+from repro.evaluation.reporting import format_table, pc_over_time_table, summary_table
+from repro.streaming.engine import StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Progressive Entity Resolution over Incremental Data (EDBT 2023) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list available datasets")
+
+    def add_stream_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", default="dblp_acm", choices=available_datasets())
+        sub.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+        sub.add_argument("--increments", type=int, default=100, help="number of increments")
+        sub.add_argument(
+            "--rate", type=float, default=None,
+            help="increment arrival rate in dD/s (omit for the static setting)",
+        )
+        sub.add_argument("--matcher", default="JS", choices=["JS", "ED"])
+        sub.add_argument("--budget", type=float, default=120.0, help="virtual time budget [s]")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--pipelined", action="store_true",
+            help="use the two-stage pipelined engine instead of the serial one",
+        )
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm over a stream")
+    run_parser.add_argument("--algorithm", default="I-PES", choices=list(SYSTEM_NAMES))
+    add_stream_arguments(run_parser)
+    run_parser.add_argument("--json", metavar="PATH", help="write the run result as JSON")
+    run_parser.add_argument("--csv", metavar="PATH", help="write the PC curve as CSV")
+
+    compare_parser = subparsers.add_parser("compare", help="compare algorithms on one stream")
+    compare_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["I-PES", "I-PCS", "I-PBS", "I-BASE"],
+        choices=list(SYSTEM_NAMES),
+    )
+    add_stream_arguments(compare_parser)
+
+    return parser
+
+
+def _engine(args, matcher):
+    if args.pipelined:
+        return PipelinedStreamingEngine(matcher, budget=args.budget)
+    return StreamingEngine(matcher, budget=args.budget)
+
+
+def _run_one(args, dataset, algorithm: str):
+    increments = split_into_increments(dataset, args.increments, seed=args.seed)
+    plan = make_stream_plan(increments, rate=args.rate)
+    system = make_system(algorithm, dataset)
+    engine = _engine(args, make_matcher(args.matcher))
+    return engine.run(system, plan, dataset.ground_truth)
+
+
+def _command_datasets() -> int:
+    rows = []
+    for name in available_datasets():
+        dataset = load_dataset(name, scale=1.0)
+        description = dataset.describe()
+        rows.append(
+            [
+                name,
+                description["kind"],
+                description["profiles"],
+                description["matches"],
+            ]
+        )
+    print(format_table(["dataset", "kind", "#profiles", "#matches"], rows))
+    return 0
+
+
+def _command_run(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    result = _run_one(args, dataset, args.algorithm)
+    times = [args.budget * f for f in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)]
+    print(pc_over_time_table({args.algorithm: result}, times))
+    print()
+    print(summary_table({args.algorithm: result}))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(run_result_to_json(result))
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        write_curve_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _command_compare(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    results = {}
+    for algorithm in args.algorithms:
+        results[algorithm] = _run_one(args, dataset, algorithm)
+    times = [args.budget * f for f in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)]
+    print(pc_over_time_table(results, times))
+    print()
+    print(summary_table(results))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

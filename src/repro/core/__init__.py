@@ -1,0 +1,36 @@
+"""Core data model: profiles, comparisons, datasets, increments, clusters."""
+
+from repro.core.clusters import EntityClusters, UnionFind
+from repro.core.comparison import Comparison, WeightedComparison, canonical_pair
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.increments import (
+    Increment,
+    StreamPlan,
+    make_bursty_stream_plan,
+    make_poisson_stream_plan,
+    make_stream_plan,
+    split_into_increments,
+)
+from repro.core.profile import Attribute, EntityProfile
+from repro.core.tokenizer import Tokenizer, default_tokenizer
+
+__all__ = [
+    "Attribute",
+    "Comparison",
+    "Dataset",
+    "ERKind",
+    "EntityClusters",
+    "EntityProfile",
+    "GroundTruth",
+    "Increment",
+    "StreamPlan",
+    "Tokenizer",
+    "UnionFind",
+    "WeightedComparison",
+    "canonical_pair",
+    "default_tokenizer",
+    "make_bursty_stream_plan",
+    "make_poisson_stream_plan",
+    "make_stream_plan",
+    "split_into_increments",
+]

@@ -1,0 +1,116 @@
+"""Entity clustering: turning pairwise duplicates into entity clusters.
+
+ER pipelines output pairwise matches; applications usually need the
+*entities* — the transitive closure of the match relation.  This module
+provides a classic union-find and an :class:`EntityClusters` view that is
+maintainable incrementally (add matches as the stream discovers them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["UnionFind", "EntityClusters"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+        self._size: dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        """Representative of ``item``'s set (item itself if never seen)."""
+        parent = self._parent
+        if item not in parent:
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, left: int, right: int) -> bool:
+        """Merge the sets of ``left`` and ``right``; True if they were
+        separate."""
+        root_left = self.find(left)
+        root_right = self.find(right)
+        if root_left == root_right:
+            return False
+        for item in (root_left, root_right):
+            if item not in self._parent:
+                self._parent[item] = item
+                self._size[item] = 1
+        if self._size[root_left] < self._size[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        self._size[root_left] += self._size[root_right]
+        return True
+
+    def connected(self, left: int, right: int) -> bool:
+        return self.find(left) == self.find(right)
+
+    def component_size(self, item: int) -> int:
+        root = self.find(item)
+        return self._size.get(root, 1)
+
+
+class EntityClusters:
+    """Incrementally maintained entity clusters over matched pairs.
+
+    Feed it duplicate pairs as they are found; query clusters at any time.
+    Only profiles that appear in at least one match are tracked (singletons
+    are implicit).
+    """
+
+    def __init__(self, matches: Iterable[tuple[int, int]] = ()) -> None:
+        self._union_find = UnionFind()
+        self._members: set[int] = set()
+        for left, right in matches:
+            self.add_match(left, right)
+
+    def add_match(self, left: int, right: int) -> bool:
+        """Record a duplicate pair; True if it merged two clusters."""
+        if left == right:
+            raise ValueError("a profile cannot match itself")
+        self._members.add(left)
+        self._members.add(right)
+        return self._union_find.union(left, right)
+
+    def cluster_of(self, pid: int) -> frozenset[int]:
+        """All profiles matched (transitively) with ``pid``, including it."""
+        if pid not in self._members:
+            return frozenset({pid})
+        root = self._union_find.find(pid)
+        return frozenset(
+            member for member in self._members if self._union_find.find(member) == root
+        )
+
+    def are_same_entity(self, left: int, right: int) -> bool:
+        if left == right:
+            return True
+        if left not in self._members or right not in self._members:
+            return False
+        return self._union_find.connected(left, right)
+
+    def clusters(self) -> Iterator[frozenset[int]]:
+        """All non-singleton clusters."""
+        by_root: dict[int, set[int]] = {}
+        for member in self._members:
+            by_root.setdefault(self._union_find.find(member), set()).add(member)
+        for members in by_root.values():
+            yield frozenset(members)
+
+    def __len__(self) -> int:
+        """Number of non-singleton clusters."""
+        return sum(1 for _ in self.clusters())
+
+    def pair_count(self) -> int:
+        """Total implied duplicate pairs (Σ C(|cluster|, 2))."""
+        return sum(
+            len(cluster) * (len(cluster) - 1) // 2 for cluster in self.clusters()
+        )

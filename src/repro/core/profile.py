@@ -1,0 +1,144 @@
+"""Schema-agnostic entity profiles.
+
+An :class:`EntityProfile` is the atomic unit of input data in the PIER
+framework.  Profiles are *schema agnostic*: they carry a bag of
+attribute-value pairs whose attribute names are never interpreted by any
+algorithm in this library.  All blocking and weighting decisions are based
+solely on the tokens appearing in attribute values, following the
+schema-agnostic ER literature (Papadakis et al.; Simonini et al.; Gazzarri &
+Herschel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.tokenizer import Tokenizer, default_tokenizer
+
+__all__ = ["Attribute", "EntityProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A single attribute-value pair of an entity profile.
+
+    Attribute names are opaque labels: the ER algorithms never rely on them,
+    which is what makes the pipeline applicable to heterogeneous data where
+    profiles of the same real-world entity may use disjoint vocabularies.
+    """
+
+    name: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, str):
+            raise TypeError(f"attribute value must be str, got {type(self.value).__name__}")
+
+
+class EntityProfile:
+    """A profile describing one real-world entity candidate.
+
+    Parameters
+    ----------
+    pid:
+        Globally unique integer identifier.  Identifiers are assigned by the
+        data reader and are stable for the lifetime of a stream.
+    attributes:
+        Either a mapping ``{name: value}`` or an iterable of
+        ``(name, value)`` pairs / :class:`Attribute` objects.  Values must be
+        strings; ``None`` values are dropped.
+    source:
+        Identifier of the originating collection.  For Dirty ER all profiles
+        share source ``0``; for Clean-Clean ER the two clean collections use
+        sources ``0`` and ``1`` and only cross-source pairs are candidates.
+    """
+
+    __slots__ = ("pid", "source", "attributes", "_tokens", "_text_length")
+
+    def __init__(
+        self,
+        pid: int,
+        attributes: Mapping[str, str] | Iterable[tuple[str, str] | Attribute] = (),
+        source: int = 0,
+    ) -> None:
+        if pid < 0:
+            raise ValueError(f"profile id must be non-negative, got {pid}")
+        self.pid = int(pid)
+        self.source = int(source)
+        self.attributes: tuple[Attribute, ...] = _normalize_attributes(attributes)
+        self._tokens: frozenset[str] | None = None
+        self._text_length: int | None = None
+
+    # ------------------------------------------------------------------
+    # Token view
+    # ------------------------------------------------------------------
+    def tokens(self, tokenizer: Tokenizer | None = None) -> frozenset[str]:
+        """Return the set of blocking tokens of this profile.
+
+        The token set produced with the *default* tokenizer is cached because
+        every component of the pipeline (blocking, weighting, Jaccard
+        matching) re-reads it.  Passing a custom tokenizer bypasses the
+        cache.
+        """
+        if tokenizer is not None:
+            return frozenset(tokenizer.tokenize_profile(self.values()))
+        if self._tokens is None:
+            self._tokens = frozenset(default_tokenizer().tokenize_profile(self.values()))
+        return self._tokens
+
+    def values(self) -> Iterator[str]:
+        """Yield all attribute values of this profile."""
+        for attribute in self.attributes:
+            yield attribute.value
+
+    def text(self) -> str:
+        """Return the concatenation of all values (used by edit distance)."""
+        return " ".join(self.values())
+
+    def text_length(self) -> int:
+        """Total number of characters across values (cost-model input)."""
+        if self._text_length is None:
+            total = sum(len(attribute.value) for attribute in self.attributes)
+            # account for separating blanks inserted by text()
+            if self.attributes:
+                total += len(self.attributes) - 1
+            self._text_length = total
+        return self._text_length
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityProfile):
+            return NotImplemented
+        return self.pid == other.pid
+
+    def __hash__(self) -> int:
+        return hash(self.pid)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{a.name}={a.value!r}" for a in self.attributes[:2])
+        suffix = ", ..." if len(self.attributes) > 2 else ""
+        return f"EntityProfile(pid={self.pid}, source={self.source}, {preview}{suffix})"
+
+
+def _normalize_attributes(
+    attributes: Mapping[str, str] | Iterable[tuple[str, str] | Attribute],
+) -> tuple[Attribute, ...]:
+    if isinstance(attributes, Mapping):
+        pairs: Iterable[tuple[str, str] | Attribute] = attributes.items()
+    else:
+        pairs = attributes
+    normalized: list[Attribute] = []
+    for pair in pairs:
+        if isinstance(pair, Attribute):
+            attribute = pair
+        else:
+            name, value = pair
+            if value is None:
+                continue
+            attribute = Attribute(str(name), str(value))
+        if attribute.value:
+            normalized.append(attribute)
+    return tuple(normalized)

@@ -1,0 +1,78 @@
+"""Schema-agnostic tokenization of attribute values.
+
+Token blocking treats every token appearing in any attribute value as a
+blocking key.  The tokenizer is deliberately simple — lowercase, split on
+non-alphanumeric characters — matching the standard schema-agnostic setup
+used in the paper and in JedAI.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+__all__ = ["Tokenizer", "default_tokenizer"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+# A tiny stopword list: extremely frequent glue words produce enormous,
+# uninformative blocks that block purging would drop anyway; filtering them
+# at tokenization time keeps the block index lean.
+_DEFAULT_STOPWORDS = frozenset(
+    "a an and are as at be by for from in is it of on or the to with".split()
+)
+
+
+class Tokenizer:
+    """Configurable value tokenizer.
+
+    Parameters
+    ----------
+    min_length:
+        Tokens shorter than this are dropped (single characters rarely make
+        useful blocking keys).
+    stopwords:
+        Tokens to drop regardless of length.
+    max_tokens_per_value:
+        Safety valve for pathological values; ``None`` disables the cap.
+    """
+
+    __slots__ = ("min_length", "stopwords", "max_tokens_per_value")
+
+    def __init__(
+        self,
+        min_length: int = 2,
+        stopwords: frozenset[str] = _DEFAULT_STOPWORDS,
+        max_tokens_per_value: int | None = None,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        self.min_length = min_length
+        self.stopwords = frozenset(stopwords)
+        self.max_tokens_per_value = max_tokens_per_value
+
+    def tokenize(self, value: str) -> Iterator[str]:
+        """Yield the tokens of a single attribute value."""
+        count = 0
+        for match in _TOKEN_PATTERN.finditer(value.lower()):
+            token = match.group()
+            if len(token) < self.min_length or token in self.stopwords:
+                continue
+            yield token
+            count += 1
+            if self.max_tokens_per_value is not None and count >= self.max_tokens_per_value:
+                return
+
+    def tokenize_profile(self, values: Iterable[str]) -> set[str]:
+        """Return the union of tokens across all values of a profile."""
+        tokens: set[str] = set()
+        for value in values:
+            tokens.update(self.tokenize(value))
+        return tokens
+
+
+@lru_cache(maxsize=1)
+def default_tokenizer() -> Tokenizer:
+    """The tokenizer shared by all components unless overridden."""
+    return Tokenizer()

@@ -1,0 +1,38 @@
+"""Deterministic synthetic analogues of the paper's benchmark datasets."""
+
+from repro.datasets.bibliographic import generate_dblp_acm
+from repro.datasets.census import generate_census
+from repro.datasets.dbpedia import generate_dbpedia
+from repro.datasets.generators import Corruptor, synthesize_vocabulary
+from repro.datasets.io import (
+    dataset_from_csv,
+    dataset_from_jsonl,
+    dataset_to_jsonl,
+    ground_truth_from_csv,
+    ground_truth_to_csv,
+)
+from repro.datasets.movies import generate_movies
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "Corruptor",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_from_csv",
+    "dataset_from_jsonl",
+    "dataset_to_jsonl",
+    "generate_census",
+    "generate_dblp_acm",
+    "generate_dbpedia",
+    "generate_movies",
+    "ground_truth_from_csv",
+    "ground_truth_to_csv",
+    "load_dataset",
+    "synthesize_vocabulary",
+]

@@ -1,0 +1,125 @@
+"""Synthetic analogue of the dblp-acm benchmark (D_da).
+
+Clean-Clean ER between two bibliographic collections.  Source 0 (DBLP-like)
+and source 1 (ACM-like) describe overlapping sets of papers with different
+schemas and formatting conventions.  Like the real D_da (2.62k / 2.29k
+profiles, 2.22k matches), almost every source-1 profile has a source-0
+counterpart.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.profile import EntityProfile
+from repro.datasets.generators import (
+    CS_TITLE_WORDS,
+    Corruptor,
+    FIRST_NAMES,
+    LAST_NAMES,
+    VENUES,
+)
+
+__all__ = ["generate_dblp_acm"]
+
+
+def _paper_title(rng: random.Random) -> str:
+    length = rng.randint(4, 9)
+    return " ".join(rng.choice(CS_TITLE_WORDS) for _ in range(length))
+
+
+def _author(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def generate_dblp_acm(
+    size_dblp: int = 620,
+    size_acm: int = 540,
+    match_fraction: float = 0.97,
+    seed: int = 7,
+) -> Dataset:
+    """Generate a dblp-acm-like Clean-Clean dataset.
+
+    ``match_fraction`` of the ACM-side profiles duplicate a DBLP-side paper
+    (with corruption); the rest are ACM-only papers.
+    """
+    if size_acm > size_dblp:
+        raise ValueError("the ACM side must not exceed the DBLP side")
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+
+    papers = []
+    for _ in range(size_dblp):
+        papers.append(
+            {
+                "title": _paper_title(rng),
+                "authors": ", ".join(_author(rng) for _ in range(rng.randint(1, 3))),
+                "venue": rng.choice(VENUES),
+                "year": str(rng.randint(1995, 2015)),
+            }
+        )
+
+    profiles: list[EntityProfile] = []
+    matches: list[tuple[int, int]] = []
+    next_pid = 0
+
+    # Source 0: DBLP-style records.
+    dblp_pids = []
+    for paper in papers:
+        profiles.append(
+            EntityProfile(
+                next_pid,
+                {
+                    "title": paper["title"],
+                    "authors": paper["authors"],
+                    "venue": paper["venue"],
+                    "year": paper["year"],
+                },
+                source=0,
+            )
+        )
+        dblp_pids.append(next_pid)
+        next_pid += 1
+
+    # Source 1: ACM-style records; a corrupted view over a subset of papers.
+    n_duplicates = min(size_acm, int(round(size_acm * match_fraction)))
+    duplicate_indices = rng.sample(range(size_dblp), n_duplicates)
+    for index in duplicate_indices:
+        paper = papers[index]
+        title = corruptor.corrupt(paper["title"], typo_probability=0.4, drop_probability=0.1)
+        authors = corruptor.corrupt(
+            paper["authors"], typo_probability=0.25, abbreviate_probability=0.35
+        )
+        profiles.append(
+            EntityProfile(
+                next_pid,
+                {
+                    "paper name": title,
+                    "author list": authors,
+                    "published in": paper["venue"].upper(),
+                    "publication year": paper["year"],
+                },
+                source=1,
+            )
+        )
+        matches.append((dblp_pids[index], next_pid))
+        next_pid += 1
+
+    # ACM-only papers (non-matching remainder).
+    for _ in range(size_acm - n_duplicates):
+        profiles.append(
+            EntityProfile(
+                next_pid,
+                {
+                    "paper name": _paper_title(rng),
+                    "author list": ", ".join(_author(rng) for _ in range(rng.randint(1, 3))),
+                    "published in": rng.choice(VENUES).upper(),
+                    "publication year": str(rng.randint(1995, 2015)),
+                },
+                source=1,
+            )
+        )
+        next_pid += 1
+
+    return Dataset("dblp_acm", profiles, GroundTruth(matches), ERKind.CLEAN_CLEAN)

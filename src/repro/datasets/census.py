@@ -1,0 +1,97 @@
+"""Synthetic analogue of the Febrl-generated 2M census dataset (D_2M).
+
+Dirty ER over one collection of person records.  Febrl generates a set of
+*original* records and derives corrupted *duplicates* from them; a cluster
+of ``k`` records referring to the same person yields ``k·(k-1)/2`` matching
+pairs, which is how the real D_2M reaches 1.7M matches over 2M profiles.
+
+Census values are short and relational (names, street numbers, postcodes),
+so the smallest blocks are highly informative — the regime in which the
+paper observes I-PBS outperforming I-PES.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.profile import EntityProfile
+from repro.datasets.generators import (
+    CITIES,
+    Corruptor,
+    FIRST_NAMES,
+    LAST_NAMES,
+    STATES,
+    STREET_SUFFIXES,
+    synthesize_vocabulary,
+)
+
+__all__ = ["generate_census"]
+
+# Cluster-size distribution: most people appear 1-2 times; a tail up to 6
+# duplicates pushes the pair count towards ~0.85 matches per profile, like
+# the real dataset.
+_CLUSTER_SIZES = (1, 2, 2, 3, 3, 3, 4, 4, 5, 6)
+
+
+def _person_record(rng: random.Random, street_names: list[str]) -> dict[str, str]:
+    return {
+        "given name": rng.choice(FIRST_NAMES),
+        "surname": rng.choice(LAST_NAMES),
+        "street number": str(rng.randint(1, 999)),
+        "address": f"{rng.choice(street_names)} {rng.choice(STREET_SUFFIXES)}",
+        "suburb": rng.choice(CITIES),
+        "postcode": str(rng.randint(2000, 7999)),
+        "state": rng.choice(STATES),
+        "date of birth": (
+            f"{rng.randint(1930, 2005):04d}{rng.randint(1, 12):02d}{rng.randint(1, 28):02d}"
+        ),
+        "soc sec id": str(rng.randint(1_000_000, 9_999_999)),
+    }
+
+
+def _corrupt_record(record: dict[str, str], corruptor: Corruptor) -> dict[str, str]:
+    corrupted: dict[str, str] = {}
+    for name, value in record.items():
+        if corruptor.maybe(0.12):
+            continue  # missing value
+        if name in ("given name", "surname", "address", "suburb"):
+            value = corruptor.corrupt(value, typo_probability=0.45, abbreviate_probability=0.1)
+        elif corruptor.maybe(0.2):
+            value = corruptor.typo(value)
+        corrupted[name] = value
+    return corrupted
+
+
+def generate_census(n_profiles: int = 3000, seed: int = 13) -> Dataset:
+    """Generate a Febrl-style Dirty ER census dataset of ``n_profiles``."""
+    if n_profiles < 2:
+        raise ValueError("n_profiles must be >= 2")
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+    street_names = synthesize_vocabulary(rng, 400, syllables=2)
+
+    profiles: list[EntityProfile] = []
+    matches: list[tuple[int, int]] = []
+    next_pid = 0
+
+    while len(profiles) < n_profiles:
+        cluster_size = min(rng.choice(_CLUSTER_SIZES), n_profiles - len(profiles))
+        original = _person_record(rng, street_names)
+        cluster_pids: list[int] = []
+        for copy_index in range(cluster_size):
+            if copy_index == 0:
+                record = dict(original)
+            else:
+                record = _corrupt_record(original, corruptor)
+            profiles.append(EntityProfile(next_pid, record, source=0))
+            cluster_pids.append(next_pid)
+            next_pid += 1
+        for i, pid_x in enumerate(cluster_pids):
+            for pid_y in cluster_pids[i + 1 :]:
+                matches.append((pid_x, pid_y))
+
+    # Arrival order must not be clustered, otherwise every duplicate would sit
+    # in the same increment and incrementality would be trivial.
+    rng.shuffle(profiles)
+    return Dataset("census_2m", profiles, GroundTruth(matches), ERKind.DIRTY)

@@ -1,0 +1,249 @@
+"""Shared machinery for the synthetic dataset generators.
+
+The paper's experiments use four public datasets (dblp-acm, movies, a
+Febrl-generated 2M census collection, dbpedia infoboxes) that are not
+available in this offline environment.  The generators in this package
+produce deterministic synthetic analogues that preserve the properties the
+PIER algorithms are sensitive to:
+
+* duplicate pairs whose profiles share many tokens but differ in spelling,
+  formatting, and schema (schema-agnostic matching must still find them);
+* *non*-matching profile pairs with long, vocabulary-heavy values that share
+  many tokens — the pairs that mislead the CBS weighting scheme and make
+  the expensive ED matcher collapse for I-PCS/I-PBS;
+* skewed block-size distributions (a few huge stopword-like blocks, many
+  small discriminative ones);
+* short, relational census values whose smallest blocks are highly
+  informative (the regime where I-PBS shines).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Sequence
+
+__all__ = [
+    "Corruptor",
+    "synthesize_vocabulary",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CITIES",
+    "STATES",
+    "STREET_SUFFIXES",
+    "CS_TITLE_WORDS",
+    "VENUES",
+    "MOVIE_TITLE_WORDS",
+    "GENRES",
+]
+
+# ---------------------------------------------------------------------------
+# Word pools.  Kept deliberately compact; breadth comes from
+# synthesize_vocabulary() which fabricates pronounceable pseudo-words.
+# ---------------------------------------------------------------------------
+
+FIRST_NAMES: tuple[str, ...] = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+    "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen", "gary",
+    "amy", "nicholas", "angela", "eric", "shirley", "jonathan", "anna",
+    "stephen", "brenda", "larry", "pamela", "justin", "emma", "scott",
+    "nicole", "brandon", "helen",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson",
+)
+
+CITIES: tuple[str, ...] = (
+    "springfield", "riverton", "fairview", "kingston", "ashford", "brookside",
+    "maplewood", "cedarville", "lakewood", "hillcrest", "oakdale", "elmwood",
+    "greenfield", "clayton", "milton", "dayton", "bristol", "georgetown",
+    "salem", "clinton", "madison", "franklin", "chester", "marion", "auburn",
+    "dover", "hudson", "jackson", "lebanon", "monroe", "newport", "oxford",
+    "princeton", "quincy", "richmond", "sheridan", "troy", "union", "vernon",
+    "winchester", "yorktown", "zionsville", "arlington", "burlington",
+    "carlisle", "dunmore", "easton", "fulton", "glendale", "hamilton",
+)
+
+STATES: tuple[str, ...] = (
+    "nsw", "vic", "qld", "wa", "sa", "tas", "act", "nt",
+)
+
+STREET_SUFFIXES: tuple[str, ...] = (
+    "street", "road", "avenue", "lane", "drive", "court", "place", "crescent",
+    "parade", "terrace", "way", "close", "grove", "boulevard",
+)
+
+CS_TITLE_WORDS: tuple[str, ...] = (
+    "efficient", "scalable", "incremental", "progressive", "adaptive",
+    "distributed", "parallel", "streaming", "approximate", "optimal",
+    "learning", "mining", "indexing", "querying", "matching", "ranking",
+    "clustering", "sampling", "caching", "scheduling", "blocking",
+    "resolution", "integration", "cleaning", "linkage", "deduplication",
+    "entity", "schema", "graph", "database", "stream", "query", "index",
+    "join", "aggregation", "transaction", "workload", "benchmark", "storage",
+    "memory", "cache", "partition", "replication", "consistency", "recovery",
+    "optimization", "estimation", "cardinality", "similarity", "distance",
+    "embedding", "neural", "probabilistic", "statistical", "temporal",
+    "spatial", "relational", "semistructured", "heterogeneous", "dynamic",
+    "online", "offline", "hybrid", "federated", "crowdsourced", "interactive",
+    "algorithms", "techniques", "framework", "system", "approach", "method",
+    "analysis", "evaluation", "survey", "model", "architecture", "engine",
+    "processing", "management", "discovery", "detection", "prediction",
+    "classification", "generation", "summarization", "exploration",
+)
+
+VENUES: tuple[str, ...] = (
+    "sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "icdm", "pods",
+    "tkde", "pvldb", "sigir", "aaai", "ijcai", "neurips", "icml",
+)
+
+MOVIE_TITLE_WORDS: tuple[str, ...] = (
+    "dark", "night", "day", "last", "first", "lost", "hidden", "secret",
+    "silent", "broken", "golden", "iron", "black", "white", "red", "blue",
+    "crimson", "shadow", "light", "fire", "ice", "storm", "river", "mountain",
+    "city", "house", "garden", "island", "ocean", "desert", "forest", "moon",
+    "star", "sun", "sky", "dream", "memory", "promise", "journey", "return",
+    "escape", "revenge", "legacy", "destiny", "kingdom", "empire", "throne",
+    "crown", "sword", "arrow", "hunter", "soldier", "king", "queen", "prince",
+    "widow", "stranger", "ghost", "angel", "devil", "dragon", "wolf", "raven",
+    "falcon", "tiger", "serpent", "phoenix", "guardian", "warrior", "legend",
+    "chronicles", "tales", "story", "song", "dance", "games", "letters",
+    "diaries", "awakening", "rising", "falling", "beginning", "ending",
+)
+
+GENRES: tuple[str, ...] = (
+    "drama", "comedy", "thriller", "horror", "romance", "action", "adventure",
+    "scifi", "fantasy", "documentary", "animation", "crime", "mystery",
+    "western", "musical", "biography", "war", "history", "sport", "family",
+)
+
+_SYLLABLE_ONSETS = ("b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr",
+                    "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "qu", "r",
+                    "s", "st", "sh", "t", "tr", "v", "w", "z")
+_SYLLABLE_NUCLEI = ("a", "e", "i", "o", "u", "ai", "ea", "ou", "io")
+_SYLLABLE_CODAS = ("", "n", "r", "s", "l", "t", "m", "k", "nd", "rt", "x")
+
+
+def synthesize_vocabulary(rng: random.Random, count: int, syllables: int = 3) -> list[str]:
+    """Fabricate ``count`` distinct pronounceable pseudo-words.
+
+    Used to widen vocabularies (entity names, rare attribute values) beyond
+    the embedded pools so that block-size distributions resemble real
+    heterogeneous data.
+    """
+    words: set[str] = set()
+    while len(words) < count:
+        parts = []
+        for _ in range(syllables):
+            parts.append(rng.choice(_SYLLABLE_ONSETS))
+            parts.append(rng.choice(_SYLLABLE_NUCLEI))
+            parts.append(rng.choice(_SYLLABLE_CODAS))
+        words.add("".join(parts))
+    ordered = sorted(words)
+    rng.shuffle(ordered)
+    return ordered
+
+
+class Corruptor:
+    """Deterministic string corruption, Febrl-style.
+
+    All probabilities are per-operation; the caller owns the ``Random``
+    instance, so corruption sequences are reproducible given a seed.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    # -- character-level -------------------------------------------------
+    def typo(self, value: str) -> str:
+        """Apply one random character edit (swap/delete/insert/substitute)."""
+        if len(value) < 2:
+            return value
+        rng = self._rng
+        operation = rng.randrange(4)
+        index = rng.randrange(len(value) - 1)
+        if operation == 0:  # swap adjacent
+            return value[:index] + value[index + 1] + value[index] + value[index + 2 :]
+        if operation == 1:  # delete
+            return value[:index] + value[index + 1 :]
+        letter = rng.choice(string.ascii_lowercase)
+        if operation == 2:  # insert
+            return value[:index] + letter + value[index:]
+        return value[:index] + letter + value[index + 1 :]  # substitute
+
+    def typos(self, value: str, count: int) -> str:
+        for _ in range(count):
+            value = self.typo(value)
+        return value
+
+    # -- token-level -----------------------------------------------------
+    def drop_token(self, value: str) -> str:
+        """Remove one whitespace-separated token (if more than one)."""
+        tokens = value.split()
+        if len(tokens) < 2:
+            return value
+        tokens.pop(self._rng.randrange(len(tokens)))
+        return " ".join(tokens)
+
+    def abbreviate_token(self, value: str) -> str:
+        """Abbreviate one token to its initial (e.g. first names)."""
+        tokens = value.split()
+        if not tokens:
+            return value
+        index = self._rng.randrange(len(tokens))
+        if len(tokens[index]) > 1:
+            tokens[index] = tokens[index][0]
+        return " ".join(tokens)
+
+    def shuffle_tokens(self, value: str) -> str:
+        tokens = value.split()
+        if len(tokens) < 2:
+            return value
+        self._rng.shuffle(tokens)
+        return " ".join(tokens)
+
+    # -- value-level -----------------------------------------------------
+    def corrupt(
+        self,
+        value: str,
+        typo_probability: float = 0.3,
+        drop_probability: float = 0.15,
+        abbreviate_probability: float = 0.1,
+        shuffle_probability: float = 0.05,
+    ) -> str:
+        """Apply a randomized mix of corruptions to a value."""
+        rng = self._rng
+        if rng.random() < drop_probability:
+            value = self.drop_token(value)
+        if rng.random() < abbreviate_probability:
+            value = self.abbreviate_token(value)
+        if rng.random() < shuffle_probability:
+            value = self.shuffle_tokens(value)
+        if rng.random() < typo_probability:
+            value = self.typo(value)
+        return value
+
+    def maybe(self, probability: float) -> bool:
+        return self._rng.random() < probability
+
+    def pick(self, pool: Sequence[str]) -> str:
+        return self._rng.choice(pool)

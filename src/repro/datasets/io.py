@@ -1,0 +1,156 @@
+"""Dataset file I/O: CSV and JSON-lines readers/writers.
+
+Downstream users bring their own data.  These helpers load profile
+collections from the two formats ER data usually ships in:
+
+* **CSV** — one row per profile, one column per attribute (fixed schema;
+  empty cells become missing attributes, which keeps the schema-agnostic
+  pipeline honest);
+* **JSON lines** — one JSON object per profile (naturally heterogeneous:
+  every record may carry different keys).
+
+Ground truth is a two-column CSV of matching profile-id pairs.  Writers
+round-trip both formats for dataset snapshots.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Iterable
+
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.profile import EntityProfile
+
+__all__ = [
+    "dataset_from_csv",
+    "dataset_from_jsonl",
+    "dataset_to_jsonl",
+    "ground_truth_from_csv",
+    "ground_truth_to_csv",
+]
+
+_RESERVED = ("pid", "source")
+
+
+def _open(path_or_file: str | IO[str], mode: str):
+    if isinstance(path_or_file, str):
+        return open(path_or_file, mode, newline=""), True
+    return path_or_file, False
+
+
+def dataset_from_csv(
+    path_or_file: str | IO[str],
+    name: str = "csv-dataset",
+    kind: ERKind = ERKind.DIRTY,
+    ground_truth: GroundTruth | None = None,
+    id_column: str = "pid",
+    source_column: str = "source",
+) -> Dataset:
+    """Load a dataset from CSV.
+
+    The ``id_column`` must hold unique non-negative integers; the optional
+    ``source_column`` holds 0/1 for Clean-Clean data (defaults to 0 when
+    absent).  Every other column is an attribute; empty cells are dropped.
+    """
+    handle, owns = _open(path_or_file, "r")
+    try:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or id_column not in reader.fieldnames:
+            raise ValueError(f"CSV must have an {id_column!r} column")
+        profiles = []
+        for row in reader:
+            pid = int(row[id_column])
+            source = int(row.get(source_column) or 0)
+            attributes = {
+                column: value
+                for column, value in row.items()
+                if column not in (id_column, source_column) and value
+            }
+            profiles.append(EntityProfile(pid, attributes, source=source))
+    finally:
+        if owns:
+            handle.close()
+    return Dataset(name, profiles, ground_truth or GroundTruth(), kind)
+
+
+def dataset_from_jsonl(
+    path_or_file: str | IO[str],
+    name: str = "jsonl-dataset",
+    kind: ERKind = ERKind.DIRTY,
+    ground_truth: GroundTruth | None = None,
+) -> Dataset:
+    """Load a dataset from JSON lines.
+
+    Each line is an object; the reserved keys ``pid`` (required int) and
+    ``source`` (optional int) are metadata, everything else an attribute.
+    Non-string attribute values are stringified; nulls are dropped.
+    """
+    handle, owns = _open(path_or_file, "r")
+    try:
+        profiles = []
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "pid" not in record:
+                raise ValueError(f"line {line_number}: missing 'pid'")
+            attributes = {
+                key: str(value)
+                for key, value in record.items()
+                if key not in _RESERVED and value is not None
+            }
+            profiles.append(
+                EntityProfile(int(record["pid"]), attributes, source=int(record.get("source", 0)))
+            )
+    finally:
+        if owns:
+            handle.close()
+    return Dataset(name, profiles, ground_truth or GroundTruth(), kind)
+
+
+def dataset_to_jsonl(dataset: Dataset, path_or_file: str | IO[str]) -> None:
+    """Write a dataset's profiles as JSON lines (round-trips with the reader)."""
+    handle, owns = _open(path_or_file, "w")
+    try:
+        for profile in dataset:
+            record: dict[str, object] = {"pid": profile.pid, "source": profile.source}
+            for attribute in profile.attributes:
+                record[attribute.name] = attribute.value
+            handle.write(json.dumps(record) + "\n")
+    finally:
+        if owns:
+            handle.close()
+
+
+def ground_truth_from_csv(path_or_file: str | IO[str]) -> GroundTruth:
+    """Load matching pid pairs from a two-column CSV (with/without header)."""
+    handle, owns = _open(path_or_file, "r")
+    try:
+        pairs: list[tuple[int, int]] = []
+        for row in csv.reader(handle):
+            if not row or len(row) < 2:
+                continue
+            try:
+                pairs.append((int(row[0]), int(row[1])))
+            except ValueError:
+                continue  # header or malformed row
+    finally:
+        if owns:
+            handle.close()
+    return GroundTruth(pairs)
+
+
+def ground_truth_to_csv(truth: GroundTruth | Iterable[tuple[int, int]],
+                        path_or_file: str | IO[str]) -> None:
+    """Write matching pairs as a two-column CSV with header."""
+    handle, owns = _open(path_or_file, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["pid_left", "pid_right"])
+        for left, right in sorted(truth):
+            writer.writerow([left, right])
+    finally:
+        if owns:
+            handle.close()

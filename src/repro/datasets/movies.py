@@ -1,0 +1,125 @@
+"""Synthetic analogue of the movies benchmark (D_movies).
+
+Clean-Clean ER between two heterogeneous movie collections (the real one
+links IMDB to DBpedia movies: 27.6k / 23.1k profiles, 22.8k matches).
+Source 0 resembles a curated catalogue; source 1 resembles scraped data
+with a different schema, missing attributes, and free-text plot snippets.
+The plot snippets give profiles long, token-rich values, which creates the
+CBS-over-weights-long-profiles effect on a moderate scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.profile import EntityProfile
+from repro.datasets.generators import (
+    Corruptor,
+    FIRST_NAMES,
+    GENRES,
+    LAST_NAMES,
+    MOVIE_TITLE_WORDS,
+    synthesize_vocabulary,
+)
+
+__all__ = ["generate_movies"]
+
+
+def _movie_title(rng: random.Random) -> str:
+    length = rng.randint(1, 4)
+    return " ".join(rng.choice(MOVIE_TITLE_WORDS) for _ in range(length))
+
+
+def _person(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def _plot(rng: random.Random, vocabulary: list[str], length: int) -> str:
+    return " ".join(rng.choice(vocabulary) for _ in range(length))
+
+
+def generate_movies(
+    size_source0: int = 1500,
+    size_source1: int = 1250,
+    match_fraction: float = 0.97,
+    seed: int = 11,
+) -> Dataset:
+    """Generate a movies-like Clean-Clean dataset."""
+    if size_source1 > size_source0:
+        raise ValueError("source 1 must not exceed source 0")
+    rng = random.Random(seed)
+    corruptor = Corruptor(rng)
+    # Plot vocabulary mixes common words (big blocks) and rare pseudo-words.
+    plot_vocabulary = list(MOVIE_TITLE_WORDS) + synthesize_vocabulary(rng, 600)
+
+    movies = []
+    for _ in range(size_source0):
+        movies.append(
+            {
+                "title": _movie_title(rng),
+                "year": str(rng.randint(1950, 2020)),
+                "director": _person(rng),
+                "actors": ", ".join(_person(rng) for _ in range(rng.randint(2, 4))),
+                "genre": rng.choice(GENRES),
+            }
+        )
+
+    profiles: list[EntityProfile] = []
+    matches: list[tuple[int, int]] = []
+    next_pid = 0
+
+    source0_pids = []
+    for movie in movies:
+        profiles.append(
+            EntityProfile(
+                next_pid,
+                {
+                    "title": movie["title"],
+                    "year": movie["year"],
+                    "director": movie["director"],
+                    "starring": movie["actors"],
+                    "genre": movie["genre"],
+                },
+                source=0,
+            )
+        )
+        source0_pids.append(next_pid)
+        next_pid += 1
+
+    n_duplicates = min(size_source1, int(round(size_source1 * match_fraction)))
+    duplicate_indices = rng.sample(range(size_source0), n_duplicates)
+    for index in duplicate_indices:
+        movie = movies[index]
+        attributes = {
+            "name": corruptor.corrupt(movie["title"], typo_probability=0.35),
+            "release": movie["year"],
+        }
+        # Heterogeneity: cast/crew attributes present only sometimes, under
+        # different names; a free-text snippet mentions some of the people.
+        if corruptor.maybe(0.7):
+            attributes["directed by"] = corruptor.corrupt(
+                movie["director"], abbreviate_probability=0.3
+            )
+        if corruptor.maybe(0.6):
+            attributes["cast"] = corruptor.corrupt(movie["actors"], drop_probability=0.4)
+        if corruptor.maybe(0.5):
+            attributes["category"] = movie["genre"]
+        if corruptor.maybe(0.55):
+            snippet = _plot(rng, plot_vocabulary, rng.randint(8, 25))
+            attributes["abstract"] = f"{movie['title']} {snippet}"
+        profiles.append(EntityProfile(next_pid, attributes, source=1))
+        matches.append((source0_pids[index], next_pid))
+        next_pid += 1
+
+    # Source-1-only movies, some with long plots sharing common vocabulary.
+    for _ in range(size_source1 - n_duplicates):
+        attributes = {
+            "name": _movie_title(rng),
+            "release": str(rng.randint(1950, 2020)),
+            "abstract": _plot(rng, plot_vocabulary, rng.randint(15, 40)),
+        }
+        profiles.append(EntityProfile(next_pid, attributes, source=1))
+        next_pid += 1
+
+    return Dataset("movies", profiles, GroundTruth(matches), ERKind.CLEAN_CLEAN)

@@ -1,0 +1,152 @@
+"""Experiment harness: build systems/matchers by name and run configurations.
+
+This is the layer the benchmarks, examples, and EXPERIMENTS.md reproduction
+scripts sit on.  A :class:`ExperimentConfig` pins everything that defines
+one paper experiment cell (dataset, increments, input rate, matcher,
+algorithms, virtual budget); :func:`run_experiment` executes it and returns
+one :class:`RunResult` per algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.dataset import Dataset, ERKind
+from repro.core.increments import make_stream_plan, split_into_increments
+from repro.datasets.registry import load_dataset
+from repro.incremental.ibase import IBaseSystem
+from repro.matching.matcher import EditDistanceMatcher, JaccardMatcher, Matcher
+from repro.pier.base import PierSystem
+from repro.pier.heuristic import make_chosen_strategy
+from repro.pier.ipbs import IPBS
+from repro.pier.ipcs import IPCS
+from repro.pier.ipes import IPES
+from repro.progressive.batch import BatchERSystem
+from repro.progressive.pbs import PBSSystem
+from repro.progressive.pps import PPSSystem
+from repro.progressive.psn import GSPSNSystem, LSPSNSystem
+from repro.streaming.engine import RunResult, StreamingEngine
+from repro.streaming.system import ERSystem
+
+__all__ = [
+    "SYSTEM_NAMES",
+    "BATCH_SYSTEMS",
+    "ExperimentConfig",
+    "make_matcher",
+    "make_system",
+    "run_experiment",
+]
+
+# Systems that require the full dataset upfront (single-increment plans in
+# static experiments); all others consume the increment stream as-is.
+BATCH_SYSTEMS = frozenset({"PPS", "PBS", "BATCH", "LS-PSN", "GS-PSN"})
+
+SYSTEM_NAMES = (
+    "I-PES",
+    "I-PCS",
+    "I-PBS",
+    "I-AUTO",
+    "I-BASE",
+    "PPS",
+    "PBS",
+    "LS-PSN",
+    "GS-PSN",
+    "PPS-GLOBAL",
+    "PPS-LOCAL",
+    "PBS-GLOBAL",
+    "BATCH",
+)
+
+
+def make_matcher(name: str) -> Matcher:
+    """JS (cheap) or ED (expensive) matcher with experiment thresholds."""
+    if name.upper() == "JS":
+        return JaccardMatcher(threshold=0.35)
+    if name.upper() == "ED":
+        return EditDistanceMatcher(threshold=0.7)
+    raise ValueError(f"unknown matcher {name!r}; use 'JS' or 'ED'")
+
+
+def make_system(name: str, dataset: Dataset, **overrides) -> ERSystem:
+    """Instantiate an ER system by its paper name for a given dataset."""
+    clean_clean = dataset.kind is ERKind.CLEAN_CLEAN
+    key = name.upper()
+    if key == "I-PES":
+        return PierSystem(IPES(**overrides), clean_clean=clean_clean)
+    if key == "I-PCS":
+        return PierSystem(IPCS(**overrides), clean_clean=clean_clean)
+    if key == "I-PBS":
+        return PierSystem(IPBS(**overrides), clean_clean=clean_clean)
+    if key == "I-AUTO":
+        # The future-work heuristic: inspect a data sample, pick a strategy.
+        sample = dataset.profiles[: min(len(dataset.profiles), 256)]
+        system = PierSystem(make_chosen_strategy(sample, **overrides), clean_clean=clean_clean)
+        system.name = f"I-AUTO[{system.strategy.name}]"
+        return system
+    if key == "I-BASE":
+        return IBaseSystem(clean_clean=clean_clean, **overrides)
+    if key in ("PPS", "PPS-GLOBAL"):
+        system = PPSSystem(clean_clean=clean_clean, scope="all", **overrides)
+        system.name = key
+        return system
+    if key == "PPS-LOCAL":
+        return PPSSystem(clean_clean=clean_clean, scope="last", **overrides)
+    if key in ("PBS", "PBS-GLOBAL"):
+        system = PBSSystem(clean_clean=clean_clean, scope="all", **overrides)
+        system.name = key
+        return system
+    if key == "LS-PSN":
+        return LSPSNSystem(clean_clean=clean_clean, **overrides)
+    if key == "GS-PSN":
+        return GSPSNSystem(clean_clean=clean_clean, **overrides)
+    if key == "BATCH":
+        return BatchERSystem(clean_clean=clean_clean, **overrides)
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """One experiment cell: dataset x stream shape x matcher x algorithms.
+
+    ``rate=None`` is the *static* setting (everything available at t=0);
+    otherwise increments arrive at ``rate`` ΔD per virtual second.  Batch
+    baselines (PPS/PBS/BATCH) always receive the full dataset as one
+    increment in the static setting, matching how the paper runs them.
+    """
+
+    dataset_name: str
+    systems: tuple[str, ...]
+    matcher: str = "JS"
+    scale: float = 1.0
+    n_increments: int = 100
+    rate: float | None = None
+    budget: float = 300.0
+    seed: int = 0
+    dataset: Dataset | None = field(default=None, compare=False)
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+    def load(self) -> Dataset:
+        if self.dataset is not None:
+            return self.dataset
+        return load_dataset(self.dataset_name, scale=self.scale)
+
+
+def run_experiment(config: ExperimentConfig) -> dict[str, RunResult]:
+    """Run every configured system over the configured stream; return
+    results keyed by system name."""
+    dataset = config.load()
+    increments = split_into_increments(dataset, config.n_increments, seed=config.seed)
+    results: dict[str, RunResult] = {}
+    for system_name in config.systems:
+        if system_name.upper() in BATCH_SYSTEMS and config.rate is None:
+            plan = make_stream_plan(
+                split_into_increments(dataset, 1, seed=config.seed), rate=None
+            )
+        else:
+            plan = make_stream_plan(increments, rate=config.rate)
+        system = make_system(system_name, dataset)
+        engine = StreamingEngine(make_matcher(config.matcher), budget=config.budget)
+        results[system_name] = engine.run(system, plan, dataset.ground_truth)
+    return results

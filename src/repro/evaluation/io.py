@@ -1,0 +1,82 @@
+"""Serialization of run results: JSON and CSV exports.
+
+Experiment results are plain data; these helpers export them for external
+plotting/analysis without adding any dependency.  The JSON schema is stable
+and documented below; the CSV contains one row per curve sample.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO
+
+from repro.streaming.engine import RunResult
+
+__all__ = ["run_result_to_dict", "run_result_to_json", "write_curve_csv", "curve_rows"]
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Convert a run result into a JSON-serializable dict.
+
+    Schema::
+
+        {
+          "system": str, "matcher": str,
+          "budget": float, "clock_end": float,
+          "comparisons_executed": int,
+          "final_pc": float,
+          "stream_consumed_at": float | null,
+          "work_exhausted": bool,
+          "increments_ingested": int,
+          "duplicates": [[pid, pid], ...],
+          "curve": [{"time": float, "comparisons": int, "matches": int}, ...],
+          "total_matches": int
+        }
+    """
+    return {
+        "system": result.system_name,
+        "matcher": result.matcher_name,
+        "budget": result.budget,
+        "clock_end": result.clock_end,
+        "comparisons_executed": result.comparisons_executed,
+        "final_pc": result.final_pc,
+        "stream_consumed_at": result.stream_consumed_at,
+        "work_exhausted": result.work_exhausted,
+        "increments_ingested": result.increments_ingested,
+        "duplicates": sorted([list(pair) for pair in result.duplicates]),
+        "curve": [
+            {"time": point.time, "comparisons": point.comparisons, "matches": point.matches}
+            for point in result.curve.points
+        ],
+        "total_matches": result.curve.total_matches,
+    }
+
+
+def run_result_to_json(result: RunResult, indent: int = 2) -> str:
+    """Serialize a run result as a JSON document."""
+    return json.dumps(run_result_to_dict(result), indent=indent)
+
+
+def curve_rows(result: RunResult) -> list[tuple[float, int, int, float]]:
+    """Curve samples as ``(time, comparisons, matches, pc)`` rows."""
+    total = result.curve.total_matches
+    return [
+        (point.time, point.comparisons, point.matches,
+         point.matches / total if total else 1.0)
+        for point in result.curve.points
+    ]
+
+
+def write_curve_csv(result: RunResult, path_or_file: str | IO[str]) -> None:
+    """Write the PC curve as CSV (columns: time, comparisons, matches, pc)."""
+    owns_handle = isinstance(path_or_file, str)
+    handle = open(path_or_file, "w", newline="") if owns_handle else path_or_file
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "comparisons", "matches", "pc"])
+        for row in curve_rows(result):
+            writer.writerow(row)
+    finally:
+        if owns_handle:
+            handle.close()

@@ -1,0 +1,103 @@
+"""Plain-text reporting of experiment results (the paper's tables/series).
+
+The benchmarks print the same artifacts the paper plots: PC-over-time and
+PC-over-comparisons series per algorithm, with stream-consumed markers.
+Everything renders as monospace tables so results live happily in CI logs
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.streaming.engine import RunResult
+
+__all__ = [
+    "format_table",
+    "pc_over_time_table",
+    "pc_over_comparisons_table",
+    "summary_table",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a left-aligned monospace table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _consumed_marker(result: RunResult, time: float) -> str:
+    if result.stream_consumed_at is not None and result.stream_consumed_at <= time:
+        return "x"
+    return ""
+
+
+def pc_over_time_table(results: Mapping[str, RunResult], times: Sequence[float]) -> str:
+    """PC(t) per algorithm at the requested virtual times.
+
+    An ``x`` suffix marks samples taken after the stream was fully consumed
+    (the paper's × marker in Figures 7/8).
+    """
+    headers = ["t[s]"] + list(results)
+    rows = []
+    for time in times:
+        row: list[object] = [f"{time:g}"]
+        for result in results.values():
+            marker = _consumed_marker(result, time)
+            row.append(f"{result.curve.pc_at_time(time):.3f}{marker}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def pc_over_comparisons_table(
+    results: Mapping[str, RunResult], comparison_counts: Sequence[int]
+) -> str:
+    """PC per number of executed comparisons, per algorithm."""
+    headers = ["#comparisons"] + list(results)
+    rows = []
+    for count in comparison_counts:
+        row: list[object] = [str(count)]
+        for result in results.values():
+            row.append(f"{result.curve.pc_at_comparisons(count):.3f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def summary_table(results: Mapping[str, RunResult]) -> str:
+    """Final PC / comparisons / consumption summary per algorithm."""
+    headers = [
+        "system",
+        "final PC",
+        "comparisons",
+        "end time",
+        "stream consumed",
+        "exhausted",
+    ]
+    rows = []
+    for name, result in results.items():
+        consumed = (
+            f"{result.stream_consumed_at:.1f}s"
+            if result.stream_consumed_at is not None
+            else "never (in budget)"
+        )
+        rows.append(
+            [
+                name,
+                f"{result.final_pc:.3f}",
+                result.comparisons_executed,
+                f"{result.clock_end:.1f}s",
+                consumed,
+                "yes" if result.work_exhausted else "no",
+            ]
+        )
+    return format_table(headers, rows)

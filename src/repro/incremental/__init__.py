@@ -1,0 +1,5 @@
+"""Incremental (non-progressive) ER baseline."""
+
+from repro.incremental.ibase import IBaseSystem
+
+__all__ = ["IBaseSystem"]

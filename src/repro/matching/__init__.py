@@ -1,0 +1,33 @@
+"""Match functions (JS / ED) with virtual-time cost accounting."""
+
+from repro.matching.extra_similarity import cosine_tokens, jaro, jaro_winkler
+from repro.matching.matcher import (
+    CostModel,
+    EditDistanceMatcher,
+    JaccardMatcher,
+    MatchResult,
+    Matcher,
+)
+from repro.matching.similarity import (
+    dice,
+    jaccard,
+    levenshtein,
+    normalized_edit_similarity,
+    overlap_coefficient,
+)
+
+__all__ = [
+    "CostModel",
+    "EditDistanceMatcher",
+    "JaccardMatcher",
+    "MatchResult",
+    "Matcher",
+    "cosine_tokens",
+    "dice",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "normalized_edit_similarity",
+    "overlap_coefficient",
+]

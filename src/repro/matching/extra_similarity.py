@@ -1,0 +1,95 @@
+"""Additional similarity functions common in record linkage.
+
+The paper's experiments use JS and ED; these extras make the matching
+substrate complete for downstream users (Jaro-Winkler is the de-facto
+standard for person-name data such as the census analogue; cosine over
+token counts suits longer texts).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+__all__ = ["jaro", "jaro_winkler", "cosine_tokens"]
+
+
+def jaro(text_x: str, text_y: str) -> float:
+    """Jaro similarity in [0, 1].
+
+    Counts characters matching within ``max(len)/2 - 1`` positions and
+    transpositions among them, per the classic definition.
+    """
+    if text_x == text_y:
+        return 1.0 if text_x else 0.0
+    length_x, length_y = len(text_x), len(text_y)
+    if length_x == 0 or length_y == 0:
+        return 0.0
+    window = max(length_x, length_y) // 2 - 1
+    window = max(window, 0)
+
+    matched_x = [False] * length_x
+    matched_y = [False] * length_y
+    matches = 0
+    for i, char_x in enumerate(text_x):
+        low = max(0, i - window)
+        high = min(length_y, i + window + 1)
+        for j in range(low, high):
+            if matched_y[j] or text_y[j] != char_x:
+                continue
+            matched_x[i] = True
+            matched_y[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    # transpositions: matched characters out of relative order
+    transpositions = 0
+    j = 0
+    for i in range(length_x):
+        if not matched_x[i]:
+            continue
+        while not matched_y[j]:
+            j += 1
+        if text_x[i] != text_y[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / length_x + matches / length_y + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(text_x: str, text_y: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by the common prefix (≤ 4).
+
+    ``prefix_scale`` must lie in [0, 0.25] so the result stays in [0, 1].
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    base = jaro(text_x, text_y)
+    prefix = 0
+    for char_x, char_y in zip(text_x[:4], text_y[:4]):
+        if char_x != char_y:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def cosine_tokens(tokens_x: Iterable[str], tokens_y: Iterable[str]) -> float:
+    """Cosine similarity of token count vectors, in [0, 1]."""
+    counts_x = Counter(tokens_x)
+    counts_y = Counter(tokens_y)
+    if not counts_x or not counts_y:
+        return 0.0
+    if len(counts_x) > len(counts_y):
+        counts_x, counts_y = counts_y, counts_x
+    dot = sum(count * counts_y.get(token, 0) for token, count in counts_x.items())
+    if dot == 0:
+        return 0.0
+    norm_x = math.sqrt(sum(count * count for count in counts_x.values()))
+    norm_y = math.sqrt(sum(count * count for count in counts_y.values()))
+    return dot / (norm_x * norm_y)

@@ -1,0 +1,172 @@
+"""Similarity functions used by the matching step.
+
+The paper evaluates two pipeline configurations: a *cheap* matcher based on
+Jaccard similarity (JS) over token sets and an *expensive* matcher based on
+edit distance (ED) over the concatenated profile text.  Both are implemented
+here from scratch; the edit distance uses the standard banded
+dynamic-programming formulation with early exit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "jaccard",
+    "dice",
+    "overlap_coefficient",
+    "levenshtein",
+    "normalized_edit_similarity",
+]
+
+
+def jaccard(tokens_x: frozenset[str] | set[str], tokens_y: frozenset[str] | set[str]) -> float:
+    """Jaccard similarity of two token sets, in [0, 1].
+
+    Two empty sets are defined to have similarity 0 (no evidence of a
+    match), which avoids classifying empty profiles as duplicates.
+    """
+    if not tokens_x or not tokens_y:
+        return 0.0
+    if len(tokens_x) > len(tokens_y):
+        tokens_x, tokens_y = tokens_y, tokens_x
+    intersection = sum(1 for token in tokens_x if token in tokens_y)
+    union = len(tokens_x) + len(tokens_y) - intersection
+    return intersection / union
+
+
+def dice(tokens_x: frozenset[str] | set[str], tokens_y: frozenset[str] | set[str]) -> float:
+    """Sørensen-Dice coefficient of two token sets, in [0, 1]."""
+    if not tokens_x or not tokens_y:
+        return 0.0
+    if len(tokens_x) > len(tokens_y):
+        tokens_x, tokens_y = tokens_y, tokens_x
+    intersection = sum(1 for token in tokens_x if token in tokens_y)
+    return 2.0 * intersection / (len(tokens_x) + len(tokens_y))
+
+
+def overlap_coefficient(
+    tokens_x: frozenset[str] | set[str], tokens_y: frozenset[str] | set[str]
+) -> float:
+    """Overlap coefficient: |X ∩ Y| / min(|X|, |Y|)."""
+    if not tokens_x or not tokens_y:
+        return 0.0
+    if len(tokens_x) > len(tokens_y):
+        tokens_x, tokens_y = tokens_y, tokens_x
+    intersection = sum(1 for token in tokens_x if token in tokens_y)
+    return intersection / len(tokens_x)
+
+
+def levenshtein(text_x: str, text_y: str, max_distance: int | None = None) -> int:
+    """Levenshtein edit distance between two strings.
+
+    Parameters
+    ----------
+    max_distance:
+        Optional bound ``k``.  If the true distance exceeds ``k`` the
+        function returns ``k + 1``; with a bound the computation runs the
+        banded DP in ``O(k · min(len))`` instead of the full quadratic
+        table, which keeps the expensive matcher affordable for clearly
+        different strings.
+    """
+    if text_x == text_y:
+        return 0
+    cap = None if max_distance is None else max_distance + 1
+    if not text_x:
+        return len(text_y) if cap is None else min(len(text_y), cap)
+    if not text_y:
+        return len(text_x) if cap is None else min(len(text_x), cap)
+    # Ensure text_x is the shorter string so the DP row stays small.
+    if len(text_x) > len(text_y):
+        text_x, text_y = text_y, text_x
+    if max_distance is None:
+        return _levenshtein_full(text_x, text_y)
+    if len(text_y) - len(text_x) > max_distance:
+        return max_distance + 1
+    return _levenshtein_banded(text_x, text_y, max_distance)
+
+
+def _levenshtein_full(text_x: str, text_y: str) -> int:
+    previous_row = list(range(len(text_x) + 1))
+    for row_index, char_y in enumerate(text_y, start=1):
+        current_row = [row_index]
+        for col_index, char_x in enumerate(text_x, start=1):
+            substitution = previous_row[col_index - 1] + (char_x != char_y)
+            insertion = current_row[col_index - 1] + 1
+            deletion = previous_row[col_index] + 1
+            current_row.append(min(substitution, insertion, deletion))
+        previous_row = current_row
+    return previous_row[-1]
+
+
+def _levenshtein_banded(text_x: str, text_y: str, bound: int) -> int:
+    """Banded DP: only cells with ``|i - j| <= bound`` can hold values
+    ``<= bound``, so the rest of each row is never materialized."""
+    width = len(text_x)
+    infinity = bound + 1
+    previous_row = [j if j <= bound else infinity for j in range(width + 1)]
+    for i, char_y in enumerate(text_y, start=1):
+        low = max(1, i - bound)
+        high = min(width, i + bound)
+        current_row = [infinity] * (width + 1)
+        if i <= bound:
+            current_row[0] = i
+        best = infinity
+        for j in range(low, high + 1):
+            char_x = text_x[j - 1]
+            substitution = previous_row[j - 1] + (char_x != char_y)
+            insertion = current_row[j - 1] + 1
+            deletion = previous_row[j] + 1
+            cell = substitution
+            if insertion < cell:
+                cell = insertion
+            if deletion < cell:
+                cell = deletion
+            if cell > infinity:
+                cell = infinity
+            current_row[j] = cell
+            if cell < best:
+                best = cell
+        if i <= bound and current_row[0] < best:
+            best = current_row[0]
+        if best > bound:
+            return infinity
+        previous_row = current_row
+    distance = previous_row[width]
+    return distance if distance <= bound else infinity
+
+
+def normalized_edit_similarity(
+    text_x: str, text_y: str, min_similarity: float | None = None
+) -> float:
+    """Edit-distance similarity ``1 - dist / max_len`` in [0, 1].
+
+    Two empty strings are defined to have similarity 0, consistent with
+    :func:`jaccard` on empty token sets.
+
+    Parameters
+    ----------
+    min_similarity:
+        When the caller only needs exact values at or above some threshold
+        (e.g. a matcher deciding ``sim >= t``), passing ``t`` narrows the DP
+        band accordingly; values below the threshold are then clamped
+        pessimistically (still in [0, 1], still below ``t``).
+    """
+    longest = max(len(text_x), len(text_y))
+    if longest == 0:
+        return 0.0
+    if min_similarity is None:
+        # Keep exact values for similarities >= 0.5 — ample for thresholding.
+        bound = longest // 2 + 1
+    else:
+        if not 0.0 <= min_similarity <= 1.0:
+            raise ValueError("min_similarity must be in [0, 1]")
+        bound = int((1.0 - min_similarity) * longest) + 1
+    distance = levenshtein(text_x, text_y, max_distance=bound)
+    distance = min(distance, longest)
+    return 1.0 - distance / longest
+
+
+def token_iterable_to_set(tokens: Iterable[str]) -> frozenset[str]:
+    """Small helper for callers holding token iterables."""
+    return tokens if isinstance(tokens, frozenset) else frozenset(tokens)

@@ -1,0 +1,35 @@
+"""Meta-blocking: weighting schemes, (I-)WNP comparison cleaning, block graph."""
+
+from repro.metablocking.block_graph import BlockGraph
+from repro.metablocking.pruning import (
+    cardinality_edge_pruning,
+    cardinality_node_pruning,
+    enumerate_weighted_comparisons,
+    weighted_edge_pruning,
+)
+from repro.metablocking.weights import (
+    ARCSScheme,
+    CommonBlocksScheme,
+    EnhancedCommonBlocksScheme,
+    JaccardScheme,
+    WeightingScheme,
+    make_scheme,
+)
+from repro.metablocking.wnp import WNPResult, batch_wnp_for_profile, incremental_wnp
+
+__all__ = [
+    "ARCSScheme",
+    "BlockGraph",
+    "CommonBlocksScheme",
+    "EnhancedCommonBlocksScheme",
+    "JaccardScheme",
+    "WNPResult",
+    "WeightingScheme",
+    "batch_wnp_for_profile",
+    "cardinality_edge_pruning",
+    "cardinality_node_pruning",
+    "enumerate_weighted_comparisons",
+    "incremental_wnp",
+    "make_scheme",
+    "weighted_edge_pruning",
+]

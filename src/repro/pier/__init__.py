@@ -1,0 +1,31 @@
+"""PIER: progressive + incremental ER — framework and strategies."""
+
+from repro.pier.base import (
+    ComparisonGenerator,
+    GetComparisons,
+    IncrPrioritization,
+    PierSystem,
+)
+from repro.pier.heuristic import (
+    DataProfileStats,
+    choose_strategy,
+    make_chosen_strategy,
+    profile_sample_stats,
+)
+from repro.pier.ipbs import IPBS
+from repro.pier.ipcs import IPCS
+from repro.pier.ipes import IPES
+
+__all__ = [
+    "ComparisonGenerator",
+    "DataProfileStats",
+    "GetComparisons",
+    "IPBS",
+    "IPCS",
+    "IPES",
+    "IncrPrioritization",
+    "PierSystem",
+    "choose_strategy",
+    "make_chosen_strategy",
+    "profile_sample_stats",
+]

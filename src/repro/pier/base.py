@@ -1,0 +1,307 @@
+"""The PIER framework: Algorithm 1 plus shared strategy scaffolding.
+
+:class:`PierSystem` implements Algorithm 1 of the paper once; the three
+prioritization strategies (I-PCS, I-PBS, I-PES) plug in through the
+:class:`IncrPrioritization` interface, exactly mirroring the paper's
+``Strategy: IncrPrioritization`` parameter.
+
+This module also hosts the two generation utilities shared across
+strategies and the incremental baseline:
+
+* :class:`ComparisonGenerator` — Algorithm 2 lines 1-9: for each new
+  profile, gather candidates from its (block-ghosted) blocks and clean them
+  with I-WNP, producing a weighted comparison list.
+* :class:`GetComparisons` — the fallback of Algorithm 2 lines 10-11: when
+  both the increment and the comparison index are empty, pull comparisons
+  from the block collection, smallest block first, so useful work continues
+  while waiting for the next increment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.blocking.blocks import BlockCollection
+from repro.blocking.cleaning import block_ghosting
+from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlocking
+from repro.core.comparison import WeightedComparison, canonical_pair
+from repro.core.increments import Increment
+from repro.core.profile import EntityProfile
+from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
+from repro.metablocking.wnp import incremental_wnp
+from repro.priority.rates import AdaptiveK
+from repro.streaming.system import EmitResult, ERSystem, PipelineCosts, PipelineStats
+
+__all__ = ["ComparisonGenerator", "GetComparisons", "IncrPrioritization", "PierSystem"]
+
+
+class ComparisonGenerator:
+    """Candidate generation for one newly arrived profile (Alg. 2, l. 1-9).
+
+    Applies block ghosting with parameter β to the profile's block list,
+    collects co-block partners that form valid comparisons, and cleans the
+    candidate list with I-WNP.  Returns the surviving weighted comparisons
+    together with the number of weighting operations performed (for cost
+    accounting).
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.2,
+        scheme: WeightingScheme | None = None,
+    ) -> None:
+        self.beta = beta
+        self.scheme = scheme or CommonBlocksScheme()
+
+    def generate(
+        self,
+        collection: BlockCollection,
+        profile: EntityProfile,
+        valid_partner: Callable[[int], bool],
+    ) -> tuple[tuple[WeightedComparison, ...], int]:
+        blocks = collection.blocks_of_as_blocks(profile.pid)
+        blocks = block_ghosting(blocks, self.beta)
+        candidates: list[int] = []
+        for block in blocks:
+            if collection.clean_clean:
+                partners = block.members(1 - profile.source)
+            else:
+                partners = list(block)
+            for pid in partners:
+                if pid != profile.pid and valid_partner(pid):
+                    candidates.append(pid)
+        result = incremental_wnp(collection, profile.pid, candidates, self.scheme)
+        return result.kept, result.weighting_cost_units
+
+
+class GetComparisons:
+    """Smallest-block-first comparison refill (Alg. 2, l. 10-11).
+
+    Each :meth:`next_batch` call drains one eligible block (smallest first,
+    by current size) and returns its valid, weighted comparisons.  A block
+    is eligible if it has never been drained or has *grown* since its last
+    drain — refills may fire in idle gaps mid-stream, so blocks that gain
+    members afterwards must be revisited once the stream goes quiet.
+    Already-executed pairs are filtered out by the caller-supplied
+    predicate, so revisits only pay for the genuinely new comparisons.
+    """
+
+    def __init__(self, scheme: WeightingScheme | None = None) -> None:
+        self.scheme = scheme or CommonBlocksScheme()
+        self._drained_size: dict[str, int] = {}
+        # Cached min-heap of (size, key) over eligible blocks; rebuilt by a
+        # full scan only when it runs dry, revalidated lazily on pop.
+        self._heap: list[tuple[int, str]] = []
+
+    def _eligible(self, block) -> bool:
+        size = len(block)
+        if size < 2:
+            return False
+        return size > self._drained_size.get(block.key, 0)
+
+    def _pop_smallest(self, collection: BlockCollection):
+        """Smallest eligible block, or ``None``; amortizes scans via a heap."""
+        for attempt in range(2):
+            while self._heap:
+                size, key = heapq.heappop(self._heap)
+                block = collection.get(key)
+                if block is None or not self._eligible(block):
+                    continue
+                if len(block) != size:
+                    heapq.heappush(self._heap, (len(block), key))
+                    continue
+                return block
+            if attempt == 0:
+                self._heap = [
+                    (len(block), block.key) for block in collection if self._eligible(block)
+                ]
+                heapq.heapify(self._heap)
+        return None
+
+    def next_batch(
+        self,
+        collection: BlockCollection,
+        already_executed: Callable[[int, int], bool],
+    ) -> tuple[list[WeightedComparison], int] | None:
+        """Drain the next eligible block.
+
+        Returns ``None`` when no eligible block remains (exhausted), or a
+        ``(weighted comparisons, weighting ops)`` tuple otherwise — possibly
+        with an empty list when every pair of the block was executed before.
+        """
+        block = self._pop_smallest(collection)
+        if block is None:
+            return None
+        self._drained_size[block.key] = len(block)
+        weighted: list[WeightedComparison] = []
+        operations = 0
+        for pid_x, pid_y in block.pairs(collection.clean_clean):
+            pair = canonical_pair(pid_x, pid_y)
+            if already_executed(*pair):
+                continue
+            operations += 1
+            weight = self.scheme.weight(collection, *pair)
+            weighted.append(WeightedComparison(pair[0], pair[1], weight))
+        return weighted, operations
+
+    def is_exhausted(self, collection: BlockCollection) -> bool:
+        return not any(self._eligible(block) for block in collection)
+
+    def reset(self) -> None:
+        self._drained_size.clear()
+        self._heap.clear()
+
+
+class IncrPrioritization:
+    """Strategy interface of Algorithm 1 (``IncrPrioritization``).
+
+    Implementations maintain the global comparison index ``CmpIndex``.
+    All methods that perform work return their virtual cost, computed from
+    the shared :class:`PipelineCosts`.
+    """
+
+    name = "incr-prioritization"
+
+    def ingest_profiles(
+        self,
+        system: "PierSystem",
+        profiles: Iterable[EntityProfile],
+    ) -> float:
+        """``updateCmpIndex`` for a non-empty increment."""
+        raise NotImplementedError
+
+    def on_empty_increment(self, system: "PierSystem") -> float:
+        """``updateCmpIndex`` with an empty increment (refill trigger)."""
+        raise NotImplementedError
+
+    def dequeue(self) -> tuple[int, int] | None:
+        """Retrieve and remove the best comparison, or ``None`` if empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def exhausted(self, system: "PierSystem") -> bool:
+        """No comparisons left and no refill possible."""
+        raise NotImplementedError
+
+
+class PierSystem(ERSystem):
+    """Algorithm 1: the progressive incremental ER framework.
+
+    Wires incremental token blocking, a prioritization strategy, and the
+    adaptive ``findK`` controller into one :class:`ERSystem`.
+
+    Parameters
+    ----------
+    strategy:
+        One of the I-PCS / I-PBS / I-PES strategies.
+    clean_clean:
+        ER task kind (drives candidate generation inside blocks).
+    max_block_size:
+        Incremental block-purging threshold.
+    costs / blocking_costs:
+        Virtual cost parameters.
+    adaptive_k:
+        The ``findK`` controller; a fresh default one if omitted.
+    """
+
+    def __init__(
+        self,
+        strategy: IncrPrioritization,
+        clean_clean: bool = False,
+        max_block_size: int | None = 200,
+        costs: PipelineCosts | None = None,
+        blocking_costs: BlockingCosts | None = None,
+        adaptive_k: AdaptiveK | None = None,
+    ) -> None:
+        self.strategy = strategy
+        self.costs = costs or PipelineCosts()
+        blocking_costs = blocking_costs or BlockingCosts(
+            per_profile=self.costs.per_profile, per_token=self.costs.per_token
+        )
+        self.blocker = IncrementalTokenBlocking(
+            clean_clean=clean_clean,
+            max_block_size=max_block_size,
+            costs=blocking_costs,
+        )
+        self.adaptive_k = adaptive_k or AdaptiveK()
+        self._executed: set[tuple[int, int]] = set()
+        self.name = f"PIER[{strategy.name}]"
+
+    # ------------------------------------------------------------------
+    # ERSystem interface
+    # ------------------------------------------------------------------
+    def ingest(self, increment: Increment) -> float:
+        cost = self.blocker.process_increment(increment)
+        if increment.is_empty:
+            cost += self.strategy.on_empty_increment(self)
+        else:
+            cost += self.strategy.ingest_profiles(self, increment.profiles)
+        return cost
+
+    def emit(self, stats: PipelineStats) -> EmitResult:
+        budget = self._find_k(stats)
+        batch: list[tuple[int, int]] = []
+        while len(batch) < budget:
+            pair = self.strategy.dequeue()
+            if pair is None:
+                break
+            if pair in self._executed:
+                continue
+            self._executed.add(pair)
+            batch.append(pair)
+        cost = self.costs.per_round + self.costs.per_enqueue * len(batch)
+        return EmitResult(batch=tuple(batch), cost=cost)
+
+    def on_idle(self, stats: PipelineStats) -> float | None:
+        cost = self.strategy.on_empty_increment(self)
+        if len(self.strategy) == 0:
+            # Even the refill produced nothing: all work is exhausted.
+            return None
+        return cost
+
+    def profile(self, pid: int) -> EntityProfile:
+        return self.blocker.profile(pid)
+
+    def has_pending_comparisons(self) -> bool:
+        return len(self.strategy) > 0
+
+    # ------------------------------------------------------------------
+    # Internals shared with strategies
+    # ------------------------------------------------------------------
+    @property
+    def collection(self) -> BlockCollection:
+        return self.blocker.collection
+
+    def valid_partner(self, profile: EntityProfile) -> Callable[[int], bool]:
+        """Partner predicate for candidate generation of ``profile``."""
+        if not self.collection.clean_clean:
+            return lambda pid: True
+        source = profile.source
+        blocker = self.blocker
+        return lambda pid: blocker.profile(pid).source != source
+
+    def was_executed(self, pid_x: int, pid_y: int) -> bool:
+        return canonical_pair(pid_x, pid_y) in self._executed
+
+    def _find_k(self, stats: PipelineStats) -> int:
+        """The ``findK()`` of Algorithm 1.
+
+        The service rate is the rate at which full emission rounds complete:
+        one round costs ``K`` matcher evaluations plus fixed overhead.
+        """
+        mean_cost = max(stats.mean_match_cost, 1e-9)
+        round_cost = self.adaptive_k.value * mean_cost + self.costs.per_round
+        service_rate = 1.0 / round_cost
+        return self.adaptive_k.update(stats.input_rate, service_rate)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "strategy": self.strategy.name,
+            "k": self.adaptive_k.value,
+            "blocks": len(self.collection),
+            "executed": len(self._executed),
+        }

@@ -1,0 +1,14 @@
+"""Priority queues, Bloom filters, and rate-adaptive budget control."""
+
+from repro.priority.bloom import BloomFilter, ExactComparisonFilter, ScalableBloomFilter
+from repro.priority.bounded_pq import BoundedPriorityQueue
+from repro.priority.rates import AdaptiveK, RateEstimator
+
+__all__ = [
+    "AdaptiveK",
+    "BloomFilter",
+    "BoundedPriorityQueue",
+    "ExactComparisonFilter",
+    "RateEstimator",
+    "ScalableBloomFilter",
+]

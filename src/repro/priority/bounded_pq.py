@@ -1,0 +1,183 @@
+"""Bounded max-priority queue with lazy deletion.
+
+The global comparison index ``CmpIndex`` of the PIER framework is "a bounded
+priority queue returning as first element the comparison with highest
+weight".  This implementation supports:
+
+* ``enqueue(item, key)`` — insert with an arbitrary comparable priority key
+  (floats for I-PCS/I-PES, ``(-block_size, cbs)`` tuples for I-PBS);
+* ``dequeue()`` — remove and return the highest-priority item;
+* bounded capacity — when full, a new item only enters by evicting the
+  current *minimum*, and only if it outranks that minimum;
+* ``peek_key()`` — the key of the current top (I-PES consults
+  ``E_PQ(p).top.weight`` without removing it).
+
+Internally two heaps (max and min views of the same items) share entries;
+evicted/dequeued entries are tombstoned and skipped lazily, which keeps all
+operations ``O(log n)`` amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generic, Iterator, TypeVar
+
+__all__ = ["BoundedPriorityQueue"]
+
+T = TypeVar("T")
+
+
+class _Entry(Generic[T]):
+    __slots__ = ("key", "seq", "item", "alive")
+
+    def __init__(self, key: Any, seq: int, item: T) -> None:
+        self.key = key
+        self.seq = seq
+        self.item = item
+        self.alive = True
+
+
+class _MaxView(Generic[T]):
+    """Heap wrapper ordering entries descending by key, FIFO on ties."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: _Entry[T]) -> None:
+        self.entry = entry
+
+    def __lt__(self, other: "_MaxView[T]") -> bool:
+        if self.entry.key != other.entry.key:
+            return self.entry.key > other.entry.key
+        return self.entry.seq < other.entry.seq
+
+
+class _MinView(Generic[T]):
+    """Heap wrapper ordering entries ascending by key, LIFO on ties.
+
+    On equal keys the *newest* item is considered the eviction victim, so
+    older equally weighted comparisons are not starved.
+    """
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: _Entry[T]) -> None:
+        self.entry = entry
+
+    def __lt__(self, other: "_MinView[T]") -> bool:
+        if self.entry.key != other.entry.key:
+            return self.entry.key < other.entry.key
+        return self.entry.seq > other.entry.seq
+
+
+class BoundedPriorityQueue(Generic[T]):
+    """Max-priority queue with optional capacity bound.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live items; ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._max_heap: list[_MaxView[T]] = []
+        self._min_heap: list[_MinView[T]] = []
+        self._size = 0
+        self._counter = itertools.count()
+        self.evictions = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def enqueue(self, item: T, key: Any) -> bool:
+        """Insert ``item`` with priority ``key``.
+
+        Returns ``True`` if the item entered the queue.  When the queue is
+        full, the item is rejected (``False``) unless it outranks the current
+        minimum, which is then evicted.
+        """
+        if self.capacity is not None and self._size >= self.capacity:
+            min_entry = self._peek_min_entry()
+            if min_entry is None or not key > min_entry.key:
+                self.rejections += 1
+                return False
+            min_entry.alive = False
+            self._size -= 1
+            self.evictions += 1
+        entry = _Entry(key, next(self._counter), item)
+        heapq.heappush(self._max_heap, _MaxView(entry))
+        heapq.heappush(self._min_heap, _MinView(entry))
+        self._size += 1
+        return True
+
+    def dequeue(self) -> T:
+        """Remove and return the highest-priority item."""
+        entry = self._pop_live_max()
+        if entry is None:
+            raise IndexError("dequeue from empty BoundedPriorityQueue")
+        entry.alive = False
+        self._size -= 1
+        return entry.item
+
+    def dequeue_with_key(self) -> tuple[T, Any]:
+        """Like :meth:`dequeue` but also return the item's priority key."""
+        entry = self._pop_live_max()
+        if entry is None:
+            raise IndexError("dequeue from empty BoundedPriorityQueue")
+        entry.alive = False
+        self._size -= 1
+        return entry.item, entry.key
+
+    def peek(self) -> T:
+        """Return (without removing) the highest-priority item."""
+        entry = self._pop_live_max()
+        if entry is None:
+            raise IndexError("peek on empty BoundedPriorityQueue")
+        return entry.item
+
+    def peek_key(self) -> Any:
+        """Priority key of the current top item."""
+        entry = self._pop_live_max()
+        if entry is None:
+            raise IndexError("peek_key on empty BoundedPriorityQueue")
+        return entry.key
+
+    def drain(self) -> Iterator[T]:
+        """Yield all items in priority order, emptying the queue."""
+        while self._size:
+            yield self.dequeue()
+
+    def clear(self) -> None:
+        self._max_heap.clear()
+        self._min_heap.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _pop_live_max(self) -> _Entry[T] | None:
+        """Top live entry of the max heap (dead entries discarded en route)."""
+        while self._max_heap:
+            view = self._max_heap[0]
+            if view.entry.alive:
+                return view.entry
+            heapq.heappop(self._max_heap)
+        return None
+
+    def _peek_min_entry(self) -> _Entry[T] | None:
+        while self._min_heap:
+            view = self._min_heap[0]
+            if view.entry.alive:
+                return view.entry
+            heapq.heappop(self._min_heap)
+        return None
+
+    def __repr__(self) -> str:
+        bound = self.capacity if self.capacity is not None else "∞"
+        return f"BoundedPriorityQueue(size={self._size}, capacity={bound})"

@@ -1,0 +1,132 @@
+"""Rate estimation and the adaptive emission budget ``findK``.
+
+Algorithm 1 of the paper chooses the number ``K`` of comparisons emitted per
+round "dynamically according to the rate of the different components": if
+the average input rate is below the system service rate (the matcher can
+keep up), ``K`` grows so the idle capacity performs more prioritized
+comparisons; otherwise ``K`` shrinks to let the stream be consumed faster.
+
+``findK`` is implemented as a multiplicative-increase/multiplicative-decrease
+controller over two moving-average rate estimates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RateEstimator", "AdaptiveK"]
+
+
+class RateEstimator:
+    """Moving average of an event rate from (timestamp, amount) samples.
+
+    The estimate is ``ema(amount) / ema(interval)`` over the most recent
+    samples, which tracks both bursty arrivals and smoothly varying rates.
+    """
+
+    __slots__ = ("alpha", "_last_time", "_ema_interval", "_ema_amount", "samples")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._last_time: float | None = None
+        self._ema_interval: float | None = None
+        self._ema_amount: float | None = None
+        self.samples = 0
+
+    def record(self, timestamp: float, amount: float = 1.0) -> None:
+        """Record ``amount`` units of work/arrival occurring at ``timestamp``."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._last_time is not None:
+            interval = max(timestamp - self._last_time, 1e-12)
+            if self._ema_interval is None:
+                self._ema_interval = interval
+                self._ema_amount = amount
+            else:
+                self._ema_interval += self.alpha * (interval - self._ema_interval)
+                self._ema_amount += self.alpha * (amount - self._ema_amount)
+        self._last_time = timestamp
+        self.samples += 1
+
+    @property
+    def rate(self) -> float | None:
+        """Estimated units per second; ``None`` until two samples exist."""
+        if self._ema_interval is None or self._ema_amount is None:
+            return None
+        return self._ema_amount / self._ema_interval
+
+    def rate_at(self, now: float) -> float | None:
+        """Rate estimate that decays when no event has arrived for a while.
+
+        If the gap since the last event exceeds the average interval, the
+        gap dominates the denominator — so a stream that has gone quiet
+        reports a shrinking rate instead of its historical one.  This is
+        what lets ``findK`` grow the budget after the last increment.
+        """
+        if self._ema_interval is None or self._ema_amount is None:
+            return None
+        if self._last_time is None:
+            return self.rate
+        effective_interval = max(self._ema_interval, now - self._last_time)
+        return self._ema_amount / max(effective_interval, 1e-12)
+
+    def reset(self) -> None:
+        self._last_time = None
+        self._ema_interval = None
+        self._ema_amount = None
+        self.samples = 0
+
+
+class AdaptiveK:
+    """The ``findK()`` controller of Algorithm 1.
+
+    Parameters
+    ----------
+    initial:
+        Starting emission budget.
+    minimum / maximum:
+        Clamp bounds for ``K``.
+    growth / shrink:
+        Multiplicative adjustment factors applied when the matcher has spare
+        capacity (growth) or is the bottleneck (shrink).
+    """
+
+    __slots__ = ("k", "minimum", "maximum", "growth", "shrink")
+
+    def __init__(
+        self,
+        initial: int = 64,
+        minimum: int = 4,
+        maximum: int = 65536,
+        growth: float = 1.25,
+        shrink: float = 0.7,
+    ) -> None:
+        if not 1 <= minimum <= initial <= maximum:
+            raise ValueError("need 1 <= minimum <= initial <= maximum")
+        if growth <= 1.0 or not 0.0 < shrink < 1.0:
+            raise ValueError("growth must exceed 1 and shrink lie in (0, 1)")
+        self.k = initial
+        self.minimum = minimum
+        self.maximum = maximum
+        self.growth = growth
+        self.shrink = shrink
+
+    def update(self, input_rate: float | None, service_rate: float | None) -> int:
+        """Adjust and return ``K`` given the latest rate estimates.
+
+        ``input_rate`` is the increment arrival rate; ``service_rate`` is the
+        rate at which the pipeline finishes emission rounds.  With no
+        estimates yet (warm-up), ``K`` is left unchanged.
+        """
+        if input_rate is None or service_rate is None:
+            return self.k
+        if input_rate < service_rate:
+            adjusted = self.k * self.growth
+        else:
+            adjusted = self.k * self.shrink
+        self.k = int(min(self.maximum, max(self.minimum, round(adjusted))))
+        return self.k
+
+    @property
+    def value(self) -> int:
+        return self.k

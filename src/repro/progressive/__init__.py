@@ -1,0 +1,16 @@
+"""Batch progressive ER baselines: PPS, PBS, and plain batch ER."""
+
+from repro.progressive.base import BatchProgressiveSystem
+from repro.progressive.batch import BatchERSystem
+from repro.progressive.pbs import PBSSystem
+from repro.progressive.pps import PPSSystem
+from repro.progressive.psn import GSPSNSystem, LSPSNSystem
+
+__all__ = [
+    "BatchERSystem",
+    "BatchProgressiveSystem",
+    "GSPSNSystem",
+    "LSPSNSystem",
+    "PBSSystem",
+    "PPSSystem",
+]

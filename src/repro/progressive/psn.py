@@ -1,0 +1,128 @@
+"""Schema-agnostic Progressive Sorted Neighborhood: LS-PSN and GS-PSN.
+
+The other two progressive methods of Simonini et al. (TKDE 2019), included
+as extensions (the paper's evaluation uses PPS and PBS, its related-work
+section describes these).  Both build the *sorted profile array*: tokens are
+sorted alphabetically and each token contributes the profiles of its block,
+so profiles sharing tokens end up close together.
+
+* **LS-PSN** (local): emit pairs at window distance ``w = 1, 2, 3, ...`` —
+  for each ``w``, scan the array and emit ``(array[i], array[i+w])``.
+  Neighbors at small distances are most likely matches.
+* **GS-PSN** (global): for a maximum window ``W``, count how often each pair
+  co-occurs within distance ``W`` across the array, then emit pairs in
+  descending co-occurrence frequency — a better global order at the price of
+  a heavier initialization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.progressive.base import BatchProgressiveSystem
+
+__all__ = ["LSPSNSystem", "GSPSNSystem"]
+
+
+def _sorted_profile_array(collection) -> list[int]:
+    array: list[int] = []
+    for key in sorted(collection.keys()):
+        block = collection.get(key)
+        if block is not None:
+            array.extend(block)
+    return array
+
+
+class LSPSNSystem(BatchProgressiveSystem):
+    """Local Schema-Agnostic Progressive Sorted Neighborhood."""
+
+    name = "LS-PSN"
+
+    def __init__(self, max_window: int = 64, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if max_window < 1:
+            raise ValueError("max_window must be >= 1")
+        self.max_window = max_window
+        self._array: list[int] = []
+        self._window = 1
+        self._position = 0
+        self._seen: set[tuple[int, int]] = set()
+
+    def _estimate_init_cost(self) -> float:
+        return len(self.collection) * self.costs.per_block_open
+
+    def _initialize(self) -> float:
+        self._array = _sorted_profile_array(self.collection)
+        self._window = 1
+        self._position = 0
+        self._seen = set()
+        return len(self._array) * self.costs.per_enqueue
+
+    def _next_pairs(self, n: int) -> tuple[list[tuple[int, int]], float]:
+        pairs: list[tuple[int, int]] = []
+        cost = 0.0
+        array = self._array
+        while len(pairs) < n and self._window <= self.max_window:
+            if self._position + self._window >= len(array):
+                self._window += 1
+                self._position = 0
+                continue
+            pid_x = array[self._position]
+            pid_y = array[self._position + self._window]
+            self._position += 1
+            cost += self.costs.per_enqueue
+            if pid_x == pid_y:
+                continue
+            pair = (min(pid_x, pid_y), max(pid_x, pid_y))
+            if pair in self._seen or not self.valid_pair(*pair):
+                continue
+            self._seen.add(pair)
+            pairs.append(pair)
+        return pairs, cost
+
+
+class GSPSNSystem(BatchProgressiveSystem):
+    """Global Schema-Agnostic Progressive Sorted Neighborhood."""
+
+    name = "GS-PSN"
+
+    def __init__(self, max_window: int = 16, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if max_window < 1:
+            raise ValueError("max_window must be >= 1")
+        self.max_window = max_window
+        self._emission: list[tuple[int, int]] = []
+        self._cursor = 0
+
+    def _estimate_init_cost(self) -> float:
+        # Counting pass: W positions per array slot.
+        array_length = sum(len(block) for block in self.collection)
+        return array_length * self.max_window * self.costs.per_edge_enumeration
+
+    def _initialize(self) -> float:
+        array = _sorted_profile_array(self.collection)
+        frequencies: Counter[tuple[int, int]] = Counter()
+        operations = 0
+        for i, pid_x in enumerate(array):
+            for w in range(1, self.max_window + 1):
+                if i + w >= len(array):
+                    break
+                pid_y = array[i + w]
+                operations += 1
+                if pid_x == pid_y:
+                    continue
+                pair = (min(pid_x, pid_y), max(pid_x, pid_y))
+                if self.valid_pair(*pair):
+                    frequencies[pair] += 1
+        self._emission = [pair for pair, _ in frequencies.most_common()]
+        self._cursor = 0
+        return (
+            operations * self.costs.per_edge_enumeration
+            + len(self._emission) * self.costs.per_enqueue
+        )
+
+    def _next_pairs(self, n: int) -> tuple[list[tuple[int, int]], float]:
+        end = min(self._cursor + n, len(self._emission))
+        pairs = self._emission[self._cursor : end]
+        self._cursor = end
+        return pairs, len(pairs) * self.costs.per_enqueue

@@ -1,0 +1,15 @@
+"""Virtual-time streaming substrate: system contract and simulation engine."""
+
+from repro.streaming.engine import RunResult, StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
+from repro.streaming.system import EmitResult, ERSystem, PipelineCosts, PipelineStats
+
+__all__ = [
+    "EmitResult",
+    "ERSystem",
+    "PipelineCosts",
+    "PipelineStats",
+    "PipelinedStreamingEngine",
+    "RunResult",
+    "StreamingEngine",
+]

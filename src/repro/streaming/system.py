@@ -1,0 +1,115 @@
+"""The contract between ER systems and the streaming engine.
+
+Every algorithm in this library — batch progressive baselines (PPS, PBS),
+the incremental baseline (I-BASE), the PIER algorithms (I-PCS, I-PBS,
+I-PES) and the naive GLOBAL/LOCAL adaptations — is packaged as an
+:class:`ERSystem`.  The engine feeds it increments, asks it for comparison
+batches, and charges all virtual costs the system reports, so that the
+paper's throughput phenomena (initialization stalls, back-pressure,
+adaptive budgets) emerge from one shared simulation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.increments import Increment
+from repro.core.profile import EntityProfile
+
+__all__ = ["PipelineCosts", "PipelineStats", "EmitResult", "ERSystem"]
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineCosts:
+    """Virtual cost parameters of the non-matching pipeline stages.
+
+    All values are virtual seconds per unit of work.  They are deliberately
+    orders of magnitude below typical match costs (the matcher is the usual
+    ER bottleneck), but initialization-heavy algorithms multiply them by
+    very large unit counts.
+    """
+
+    per_profile: float = 5e-5       # data reading / scrubbing / tokenizing
+    per_token: float = 2e-6         # one inverted-index update
+    per_weight: float = 5e-6        # one weighting-scheme evaluation
+    per_enqueue: float = 1e-6       # one priority-queue operation
+    per_edge_enumeration: float = 1e-6   # one block-graph edge visit (PPS init)
+    per_block_open: float = 5e-6    # opening/sorting one block (PBS/I-PBS)
+    per_round: float = 1e-5         # fixed overhead of one emission round
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineStats:
+    """Runtime estimates the engine shares with adaptive systems (findK)."""
+
+    now: float
+    input_rate: float | None        # increments per virtual second (EMA)
+    mean_match_cost: float          # virtual seconds per executed comparison
+    backlog: int                    # comparisons awaiting execution
+    remaining_budget: float | None = None  # virtual seconds left in this run
+
+
+@dataclass(frozen=True, slots=True)
+class EmitResult:
+    """One emission round: the comparisons to execute next and their
+    prioritization cost (matching costs are charged separately)."""
+
+    batch: tuple[tuple[int, int], ...]
+    cost: float
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.batch
+
+
+class ERSystem:
+    """Base class for all ER systems driven by the streaming engine.
+
+    Subclasses must implement :meth:`ingest`, :meth:`emit` and
+    :meth:`profile`; the remaining hooks have sensible defaults.
+    """
+
+    name: str = "er-system"
+
+    def ingest(self, increment: Increment) -> float:
+        """Consume a data increment; return the virtual cost of doing so."""
+        raise NotImplementedError
+
+    def emit(self, stats: PipelineStats) -> EmitResult:
+        """Produce the next batch of comparisons to execute."""
+        raise NotImplementedError
+
+    def profile(self, pid: int) -> EntityProfile:
+        """Profile lookup for the classification step."""
+        raise NotImplementedError
+
+    def ready_for_ingest(self) -> bool:
+        """Back-pressure hook: may the engine hand over the next increment?
+
+        Non-adaptive systems with bounded internal queues (I-BASE) return
+        ``False`` while their backlog is above the high watermark, which
+        delays stream consumption exactly as the paper describes.
+        """
+        return True
+
+    def has_pending_comparisons(self) -> bool:
+        """Cheap probe: would :meth:`emit` (likely) return work right now?
+
+        Used by the pipelined engine to decide whether the match stage can
+        proceed without waiting for the ingest stage.  ``True`` is a safe
+        default (the engine tolerates empty emissions).
+        """
+        return True
+
+    def on_idle(self, stats: PipelineStats) -> float | None:
+        """Called when no increment is due and :meth:`emit` returned empty.
+
+        Systems that can manufacture more work (the paper's "empty
+        increment" trigger, e.g. ``GetComparisons`` refills) do so and
+        return the virtual cost.  Returning ``None`` signals exhaustion.
+        """
+        return None
+
+    def describe(self) -> dict[str, object]:
+        """Reporting metadata."""
+        return {"name": self.name}

@@ -1,0 +1,64 @@
+"""Shared fixtures: small deterministic datasets and profile factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.profile import EntityProfile
+from repro.datasets.registry import load_dataset
+
+
+def make_profile(pid: int, text: str, source: int = 0, attr: str = "value") -> EntityProfile:
+    """Tiny helper: a profile with a single attribute."""
+    return EntityProfile(pid, {attr: text}, source=source)
+
+
+@pytest.fixture
+def toy_dirty_dataset() -> Dataset:
+    """Six profiles, two duplicate clusters: {0,1,2} and {3,4}; 5 is alone."""
+    profiles = [
+        make_profile(0, "alice smith springfield"),
+        make_profile(1, "alice smith springfeld"),
+        make_profile(2, "alice m smith springfield"),
+        make_profile(3, "bob jones riverton"),
+        make_profile(4, "bob jones riverton north"),
+        make_profile(5, "carol white kingston"),
+    ]
+    truth = GroundTruth([(0, 1), (0, 2), (1, 2), (3, 4)])
+    return Dataset("toy_dirty", profiles, truth, ERKind.DIRTY)
+
+
+@pytest.fixture
+def toy_clean_clean_dataset() -> Dataset:
+    """Two clean sources with two cross-source matches."""
+    profiles = [
+        make_profile(0, "matrix 1999 wachowski", source=0),
+        make_profile(1, "inception 2010 nolan", source=0),
+        make_profile(2, "heat 1995 mann", source=0),
+        make_profile(3, "matrix wachowski 1999 film", source=1),
+        make_profile(4, "inception nolan 2010 movie", source=1),
+        make_profile(5, "unrelated documentary 2003", source=1),
+    ]
+    truth = GroundTruth([(0, 3), (1, 4)])
+    return Dataset("toy_cc", profiles, truth, ERKind.CLEAN_CLEAN)
+
+
+@pytest.fixture(scope="session")
+def small_dblp_acm() -> Dataset:
+    return load_dataset("dblp_acm", scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def small_census() -> Dataset:
+    return load_dataset("census_2m", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def small_movies() -> Dataset:
+    return load_dataset("movies", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def small_dbpedia() -> Dataset:
+    return load_dataset("dbpedia", scale=0.15)

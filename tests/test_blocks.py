@@ -1,0 +1,170 @@
+"""Tests for blocks and the incremental block collection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.blocks import Block, BlockCollection
+from repro.core.profile import EntityProfile
+
+from tests.conftest import make_profile
+
+
+class TestBlock:
+    def test_add_and_len(self):
+        block = Block("tok")
+        block.add(1, 0)
+        block.add(2, 1)
+        assert len(block) == 2
+        assert set(block) == {1, 2}
+
+    def test_members_by_source(self):
+        block = Block("tok")
+        block.add(1, 0)
+        block.add(2, 1)
+        block.add(3, 1)
+        assert block.members(0) == [1]
+        assert block.members(1) == [2, 3]
+        assert block.members(9) == []
+
+    def test_comparison_count_dirty(self):
+        block = Block("tok")
+        for pid in range(4):
+            block.add(pid, 0)
+        assert block.comparison_count(clean_clean=False) == 6
+
+    def test_comparison_count_clean_clean(self):
+        block = Block("tok")
+        block.add(1, 0)
+        block.add(2, 0)
+        block.add(3, 1)
+        assert block.comparison_count(clean_clean=True) == 2
+
+    def test_pairs_dirty(self):
+        block = Block("tok")
+        for pid in (1, 2, 3):
+            block.add(pid, 0)
+        assert set(block.pairs(False)) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_pairs_clean_clean_cross_source_only(self):
+        block = Block("tok")
+        block.add(1, 0)
+        block.add(2, 0)
+        block.add(3, 1)
+        assert set(block.pairs(True)) == {(1, 3), (2, 3)}
+
+
+class TestBlockCollection:
+    def test_add_profile_indexes_tokens(self):
+        collection = BlockCollection()
+        collection.add_profile(make_profile(1, "alpha beta"))
+        assert "alpha" in collection
+        assert collection.blocks_of(1) == {"alpha", "beta"}
+
+    def test_readd_rejected(self):
+        collection = BlockCollection()
+        collection.add_profile(make_profile(1, "alpha"))
+        with pytest.raises(ValueError):
+            collection.add_profile(make_profile(1, "alpha"))
+
+    def test_common_blocks(self):
+        collection = BlockCollection()
+        collection.add_profile(make_profile(1, "alpha beta gamma"))
+        collection.add_profile(make_profile(2, "beta gamma delta"))
+        assert collection.common_blocks(1, 2) == 2
+        assert collection.common_blocks(1, 99) == 0
+
+    def test_purging_drops_oversized_blocks(self):
+        collection = BlockCollection(max_block_size=3)
+        for pid in range(5):
+            collection.add_profile(make_profile(pid, "shared unique%d" % pid))
+        assert "shared" not in collection
+        assert all("shared" not in collection.blocks_of(pid) for pid in range(5))
+        assert "shared" in collection.purged_keys()
+
+    def test_purged_token_not_reindexed(self):
+        collection = BlockCollection(max_block_size=2)
+        for pid in range(4):
+            collection.add_profile(make_profile(pid, "common extra%d" % pid))
+        # after purge, new arrivals with the token must not recreate the block
+        collection.add_profile(make_profile(10, "common fresh"))
+        assert "common" not in collection
+        assert collection.blocks_of(10) == {"fresh"}
+
+    def test_max_block_size_validation(self):
+        with pytest.raises(ValueError):
+            BlockCollection(max_block_size=1)
+
+    def test_total_comparisons_dirty_incremental(self):
+        collection = BlockCollection(max_block_size=None)
+        for pid in range(4):
+            collection.add_profile(make_profile(pid, "shared"))
+        assert collection.total_comparisons() == 6
+
+    def test_total_comparisons_clean_clean(self):
+        collection = BlockCollection(clean_clean=True, max_block_size=None)
+        collection.add_profile(make_profile(0, "shared", source=0))
+        collection.add_profile(make_profile(1, "shared", source=0))
+        collection.add_profile(make_profile(2, "shared", source=1))
+        assert collection.total_comparisons() == 2
+
+    def test_total_comparisons_after_purge(self):
+        collection = BlockCollection(max_block_size=2)
+        for pid in range(4):
+            collection.add_profile(make_profile(pid, "common only%d" % pid))
+        # 'common' purged on 3rd insert; remaining blocks are singletons
+        assert collection.total_comparisons() == 0
+
+    def test_blocks_of_as_blocks(self):
+        collection = BlockCollection()
+        collection.add_profile(make_profile(1, "alpha beta"))
+        blocks = collection.blocks_of_as_blocks(1)
+        assert {block.key for block in blocks} == {"alpha", "beta"}
+
+    def test_profiles_indexed(self):
+        collection = BlockCollection()
+        assert collection.profiles_indexed() == 0
+        collection.add_profile(make_profile(1, "alpha"))
+        assert collection.profiles_indexed() == 1
+        assert collection.is_indexed(1)
+        assert not collection.is_indexed(2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=30))
+    @settings(max_examples=60)
+    def test_total_comparisons_invariant(self, token_choices):
+        """The incremental counter must always equal the from-scratch sum."""
+        collection = BlockCollection(max_block_size=4)
+        for pid, token_index in enumerate(token_choices):
+            profile = EntityProfile(pid, {"v": f"tok{token_index} own{pid}"})
+            collection.add_profile(profile)
+        recomputed = sum(
+            block.comparison_count(collection.clean_clean) for block in collection
+        )
+        assert collection.total_comparisons() == recomputed
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=4), st.booleans()),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60)
+    def test_total_comparisons_invariant_clean_clean(self, entries):
+        collection = BlockCollection(clean_clean=True, max_block_size=5)
+        for pid, (token_index, source) in enumerate(entries):
+            profile = EntityProfile(pid, {"v": f"tok{token_index}"}, source=int(source))
+            collection.add_profile(profile)
+        recomputed = sum(
+            block.comparison_count(collection.clean_clean) for block in collection
+        )
+        assert collection.total_comparisons() == recomputed
+
+    def test_inverse_index_consistency(self):
+        collection = BlockCollection(max_block_size=10)
+        for pid in range(8):
+            collection.add_profile(make_profile(pid, f"shared tok{pid % 3}"))
+        for block in collection:
+            for pid in block:
+                assert block.key in collection.blocks_of(pid)

@@ -1,0 +1,98 @@
+"""Tests for Bloom filters: no false negatives, bounded false positives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.priority.bloom import BloomFilter, ExactComparisonFilter, ScalableBloomFilter
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**6)
+)
+
+
+class TestBloomFilter:
+    def test_added_pairs_found(self):
+        bloom = BloomFilter(capacity=100)
+        bloom.add(1, 2)
+        assert (1, 2) in bloom
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, error_rate=1.5)
+
+    def test_is_full(self):
+        bloom = BloomFilter(capacity=2)
+        assert not bloom.is_full
+        bloom.add(1, 2)
+        bloom.add(3, 4)
+        assert bloom.is_full
+
+    def test_false_positive_rate_roughly_bounded(self):
+        bloom = BloomFilter(capacity=1000, error_rate=0.01)
+        for i in range(1000):
+            bloom.add(i, i + 1)
+        false_positives = sum(1 for i in range(10_000, 20_000) if (i, i + 1) in bloom)
+        assert false_positives < 400  # 4% — generous margin over the 1% design
+
+    @given(st.lists(pairs, max_size=60))
+    @settings(max_examples=50)
+    def test_no_false_negatives(self, items):
+        bloom = BloomFilter(capacity=max(len(items), 1))
+        for left, right in items:
+            bloom.add(left, right)
+        for pair in items:
+            assert pair in bloom
+
+    def test_determinism_across_instances(self):
+        a, b = BloomFilter(64), BloomFilter(64)
+        a.add(10, 20)
+        b.add(10, 20)
+        assert a._bits == b._bits
+
+
+class TestScalableBloomFilter:
+    def test_grows_slices(self):
+        bloom = ScalableBloomFilter(initial_capacity=8, growth=2)
+        for i in range(100):
+            bloom.add(i, i + 1)
+        assert bloom.num_slices > 1
+        assert bloom.count == 100
+
+    def test_no_false_negatives_across_slices(self):
+        bloom = ScalableBloomFilter(initial_capacity=4)
+        items = [(i, i * 7 + 1) for i in range(500)]
+        for left, right in items:
+            bloom.add(left, right)
+        assert all((left, right) in bloom for left, right in items)
+
+    def test_contains_helper(self):
+        bloom = ScalableBloomFilter()
+        bloom.add(5, 9)
+        assert bloom.contains(5, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(growth=1)
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(tightening=1.0)
+
+    def test_compound_false_positive_rate(self):
+        bloom = ScalableBloomFilter(initial_capacity=64, error_rate=0.01)
+        for i in range(2000):
+            bloom.add(i, i + 1)
+        false_positives = sum(1 for i in range(10_000, 15_000) if (i, i + 1) in bloom)
+        assert false_positives / 5000 < 0.05
+
+
+class TestExactComparisonFilter:
+    def test_exactness(self):
+        exact = ExactComparisonFilter()
+        exact.add(1, 2)
+        assert (1, 2) in exact
+        assert (2, 3) not in exact
+        assert exact.count == 1

@@ -1,0 +1,149 @@
+"""Tests for the bounded max-priority queue, incl. hypothesis model checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.priority.bounded_pq import BoundedPriorityQueue
+
+
+class TestBasics:
+    def test_dequeue_order_descending(self):
+        queue = BoundedPriorityQueue()
+        for item, key in [("a", 1.0), ("b", 3.0), ("c", 2.0)]:
+            queue.enqueue(item, key)
+        assert list(queue.drain()) == ["b", "c", "a"]
+
+    def test_fifo_on_ties(self):
+        queue = BoundedPriorityQueue()
+        queue.enqueue("first", 1.0)
+        queue.enqueue("second", 1.0)
+        assert queue.dequeue() == "first"
+        assert queue.dequeue() == "second"
+
+    def test_len_and_bool(self):
+        queue = BoundedPriorityQueue()
+        assert not queue
+        queue.enqueue("x", 1.0)
+        assert queue
+        assert len(queue) == 1
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedPriorityQueue().dequeue()
+
+    def test_peek(self):
+        queue = BoundedPriorityQueue()
+        queue.enqueue("a", 1.0)
+        queue.enqueue("b", 2.0)
+        assert queue.peek() == "b"
+        assert queue.peek_key() == 2.0
+        assert len(queue) == 2  # peek does not remove
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedPriorityQueue().peek()
+        with pytest.raises(IndexError):
+            BoundedPriorityQueue().peek_key()
+
+    def test_dequeue_with_key(self):
+        queue = BoundedPriorityQueue()
+        queue.enqueue("a", 4.2)
+        assert queue.dequeue_with_key() == ("a", 4.2)
+
+    def test_tuple_keys(self):
+        queue = BoundedPriorityQueue()
+        queue.enqueue("small-block", (-2, 1.0))
+        queue.enqueue("large-block", (-10, 9.0))
+        queue.enqueue("small-block-heavy", (-2, 5.0))
+        # (-2, 5.0) > (-2, 1.0) > (-10, 9.0)
+        assert list(queue.drain()) == ["small-block-heavy", "small-block", "large-block"]
+
+    def test_clear(self):
+        queue = BoundedPriorityQueue()
+        queue.enqueue("a", 1.0)
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestBounding:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(capacity=0)
+
+    def test_eviction_of_minimum(self):
+        queue = BoundedPriorityQueue(capacity=2)
+        assert queue.enqueue("low", 1.0)
+        assert queue.enqueue("high", 3.0)
+        assert queue.enqueue("mid", 2.0)  # evicts "low"
+        assert queue.evictions == 1
+        assert sorted(queue.drain()) == ["high", "mid"]
+
+    def test_rejection_of_underweight(self):
+        queue = BoundedPriorityQueue(capacity=2)
+        queue.enqueue("a", 2.0)
+        queue.enqueue("b", 3.0)
+        assert not queue.enqueue("c", 1.0)
+        assert queue.rejections == 1
+        assert len(queue) == 2
+
+    def test_equal_key_rejected_when_full(self):
+        queue = BoundedPriorityQueue(capacity=1)
+        queue.enqueue("a", 1.0)
+        assert not queue.enqueue("b", 1.0)
+
+    def test_size_never_exceeds_capacity(self):
+        queue = BoundedPriorityQueue(capacity=3)
+        for i in range(100):
+            queue.enqueue(i, float(i % 17))
+            assert len(queue) <= 3
+
+
+class TestHypothesisModel:
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), max_size=80))
+    @settings(max_examples=80)
+    def test_unbounded_matches_sorted_reference(self, keys):
+        queue = BoundedPriorityQueue()
+        for index, key in enumerate(keys):
+            queue.enqueue(index, key)
+        drained_keys = []
+        while queue:
+            _, key = queue.dequeue_with_key()
+            drained_keys.append(key)
+        assert drained_keys == sorted(keys, reverse=True)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80)
+    def test_bounded_keeps_heaviest(self, keys, capacity):
+        """After all insertions, the queue holds a maximal multiset of keys."""
+        queue = BoundedPriorityQueue(capacity=capacity)
+        for index, key in enumerate(keys):
+            queue.enqueue(index, key)
+        kept = sorted((queue.dequeue_with_key()[1] for _ in range(len(queue))), reverse=True)
+        expected = sorted(keys, reverse=True)[: len(kept)]
+        assert kept == expected
+        assert len(kept) <= capacity
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 20)), max_size=80))
+    @settings(max_examples=60)
+    def test_interleaved_ops_vs_model(self, operations):
+        """Interleaved enqueue/dequeue agrees with a sorted-list model."""
+        queue = BoundedPriorityQueue()
+        model: list[int] = []
+        counter = 0
+        for is_dequeue, key in operations:
+            if is_dequeue and model:
+                expected = max(model)
+                model.remove(expected)
+                _, got = queue.dequeue_with_key()
+                assert got == expected
+            else:
+                queue.enqueue(counter, key)
+                model.append(key)
+                counter += 1
+        assert len(queue) == len(model)

@@ -1,0 +1,77 @@
+"""Tests for block ghosting and block filtering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.blocking.blocks import Block
+from repro.blocking.cleaning import block_filtering, block_ghosting
+
+
+def _block(key: str, size: int) -> Block:
+    block = Block(key)
+    for pid in range(size):
+        block.add(pid, 0)
+    return block
+
+
+class TestBlockGhosting:
+    def test_keeps_blocks_up_to_threshold(self):
+        blocks = [_block("a", 2), _block("b", 4), _block("c", 10)]
+        kept = block_ghosting(blocks, beta=0.5)  # threshold = 2 / 0.5 = 4
+        assert [b.key for b in kept] == ["a", "b"]
+
+    def test_beta_one_keeps_only_smallest_size(self):
+        blocks = [_block("a", 2), _block("b", 2), _block("c", 3)]
+        kept = block_ghosting(blocks, beta=1.0)
+        assert [b.key for b in kept] == ["a", "b"]
+
+    def test_small_beta_keeps_everything(self):
+        blocks = [_block("a", 2), _block("b", 200)]
+        assert len(block_ghosting(blocks, beta=0.01)) == 2
+
+    def test_empty_input(self):
+        assert block_ghosting([], beta=0.5) == []
+
+    def test_invalid_beta(self):
+        for beta in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError):
+                block_ghosting([_block("a", 2)], beta=beta)
+
+    def test_preserves_order(self):
+        blocks = [_block("b", 3), _block("a", 2), _block("c", 3)]
+        kept = block_ghosting(blocks, beta=0.5)
+        assert [b.key for b in kept] == ["b", "a", "c"]
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=12),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_smallest_block_always_survives(self, sizes, beta):
+        blocks = [_block(f"k{i}", size) for i, size in enumerate(sizes)]
+        kept = block_ghosting(blocks, beta=beta)
+        assert kept
+        assert min(len(b) for b in kept) == min(sizes)
+
+
+class TestBlockFiltering:
+    def test_keeps_ratio_of_smallest(self):
+        blocks = [_block("a", 1), _block("b", 5), _block("c", 3), _block("d", 9)]
+        kept = block_filtering(blocks, ratio=0.5)
+        assert sorted(b.key for b in kept) == ["a", "c"]
+
+    def test_keeps_at_least_one(self):
+        assert len(block_filtering([_block("a", 9)], ratio=0.01)) == 1
+
+    def test_ratio_one_keeps_all(self):
+        blocks = [_block("a", 1), _block("b", 2)]
+        assert len(block_filtering(blocks, ratio=1.0)) == 2
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            block_filtering([_block("a", 1)], ratio=0.0)
+
+    def test_empty_input(self):
+        assert block_filtering([], ratio=0.5) == []

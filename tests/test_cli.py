@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "I-PES"
+        assert args.dataset == "dblp_acm"
+        assert args.rate is None
+
+    def test_compare_algorithm_list(self):
+        args = build_parser().parse_args(["compare", "--algorithms", "I-PES", "I-BASE"])
+        assert args.algorithms == ["I-PES", "I-BASE"]
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "MAGIC"])
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "dblp_acm" in output
+        assert "census_2m" in output
+
+    def test_run_static(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp_acm", "--scale", "0.1",
+             "--increments", "5", "--budget", "30"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "I-PES" in output
+        assert "final PC" in output
+
+    def test_run_with_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "curve.csv"
+        code = main(
+            ["run", "--dataset", "dblp_acm", "--scale", "0.1", "--increments", "5",
+             "--budget", "30", "--json", str(json_path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["system"] == "PIER[I-PES]"
+        assert payload["curve"]
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "time,comparisons,matches,pc"
+
+    def test_run_pipelined(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp_acm", "--scale", "0.1", "--increments", "5",
+             "--budget", "30", "--rate", "8", "--pipelined"]
+        )
+        assert code == 0
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--dataset", "dblp_acm", "--scale", "0.1",
+             "--increments", "5", "--budget", "30",
+             "--algorithms", "I-PES", "I-BASE"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "I-PES" in output
+        assert "I-BASE" in output

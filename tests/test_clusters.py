@@ -1,0 +1,110 @@
+"""Tests for union-find and entity clustering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import EntityClusters, UnionFind
+
+
+class TestUnionFind:
+    def test_unseen_items_are_their_own_root(self):
+        assert UnionFind().find(7) == 7
+
+    def test_union_and_connected(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert not uf.union(2, 1)
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_component_size(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.component_size(1) == 3
+        assert uf.component_size(99) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=60))
+    @settings(max_examples=60)
+    def test_matches_naive_model(self, edges):
+        """Union-find connectivity equals a naive graph-reachability model."""
+        uf = UnionFind()
+        adjacency: dict[int, set[int]] = {}
+        for left, right in edges:
+            if left != right:
+                uf.union(left, right)
+                adjacency.setdefault(left, set()).add(right)
+                adjacency.setdefault(right, set()).add(left)
+
+        def reachable(start: int) -> set[int]:
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbor in adjacency.get(node, ()):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            return seen
+
+        nodes = set(adjacency)
+        for node in nodes:
+            component = reachable(node)
+            for other in nodes:
+                assert uf.connected(node, other) == (other in component)
+
+
+class TestEntityClusters:
+    def test_simple_cluster(self):
+        clusters = EntityClusters([(1, 2), (2, 3)])
+        assert clusters.cluster_of(1) == frozenset({1, 2, 3})
+        assert clusters.are_same_entity(1, 3)
+        assert not clusters.are_same_entity(1, 4)
+
+    def test_singletons_implicit(self):
+        clusters = EntityClusters()
+        assert clusters.cluster_of(5) == frozenset({5})
+        assert clusters.are_same_entity(5, 5)
+
+    def test_self_match_rejected(self):
+        with pytest.raises(ValueError):
+            EntityClusters().add_match(1, 1)
+
+    def test_add_match_reports_merges(self):
+        clusters = EntityClusters()
+        assert clusters.add_match(1, 2)
+        assert not clusters.add_match(2, 1)
+        assert clusters.add_match(3, 4)
+        assert clusters.add_match(2, 3)  # merges the two clusters
+
+    def test_clusters_enumeration(self):
+        clusters = EntityClusters([(1, 2), (3, 4), (4, 5)])
+        all_clusters = {tuple(sorted(c)) for c in clusters.clusters()}
+        assert all_clusters == {(1, 2), (3, 4, 5)}
+        assert len(clusters) == 2
+
+    def test_pair_count(self):
+        clusters = EntityClusters([(1, 2), (3, 4), (4, 5)])
+        assert clusters.pair_count() == 1 + 3
+
+    def test_from_run_result(self, toy_dirty_dataset):
+        """Typical downstream use: cluster the duplicates of a run."""
+        from repro import resolve_stream
+
+        result = resolve_stream(toy_dirty_dataset, budget=20.0)
+        clusters = EntityClusters(result.duplicates)
+        assert clusters.are_same_entity(0, 2)  # via (0,1),(1,2) or direct
+        assert clusters.pair_count() >= len(result.duplicates)

@@ -1,0 +1,64 @@
+"""Tests for comparison candidates and canonical pairs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.comparison import Comparison, WeightedComparison, canonical_pair
+
+
+class TestCanonicalPair:
+    def test_orders_ascending(self):
+        assert canonical_pair(5, 2) == (2, 5)
+        assert canonical_pair(2, 5) == (2, 5)
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+    def test_symmetric(self, x, y):
+        if x == y:
+            return
+        assert canonical_pair(x, y) == canonical_pair(y, x)
+        left, right = canonical_pair(x, y)
+        assert left < right
+
+
+class TestComparison:
+    def test_of_canonicalizes(self):
+        assert Comparison.of(9, 4) == Comparison(4, 9)
+
+    def test_involves(self):
+        comparison = Comparison.of(1, 2)
+        assert comparison.involves(1)
+        assert comparison.involves(2)
+        assert not comparison.involves(3)
+
+    def test_other(self):
+        comparison = Comparison.of(1, 2)
+        assert comparison.other(1) == 2
+        assert comparison.other(2) == 1
+
+    def test_other_rejects_stranger(self):
+        with pytest.raises(ValueError):
+            Comparison.of(1, 2).other(3)
+
+    def test_usable_in_sets(self):
+        assert len({Comparison.of(1, 2), Comparison.of(2, 1)}) == 1
+
+
+class TestWeightedComparison:
+    def test_of_canonicalizes_and_keeps_weight(self):
+        weighted = WeightedComparison.of(9, 4, 3.5)
+        assert weighted.pair == (4, 9)
+        assert weighted.weight == 3.5
+
+    def test_tuple_weights_supported(self):
+        weighted = WeightedComparison.of(1, 2, (-3, 1.5))
+        assert weighted.weight == (-3, 1.5)
+
+    def test_comparison_view(self):
+        assert WeightedComparison.of(1, 2, 1.0).comparison() == Comparison(1, 2)

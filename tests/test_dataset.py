@@ -1,0 +1,79 @@
+"""Tests for datasets and ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.profile import EntityProfile
+
+from tests.conftest import make_profile
+
+
+class TestGroundTruth:
+    def test_contains_is_order_insensitive(self):
+        truth = GroundTruth([(1, 2)])
+        assert (1, 2) in truth
+        assert (2, 1) in truth
+        assert (1, 3) not in truth
+
+    def test_len_deduplicates(self):
+        assert len(GroundTruth([(1, 2), (2, 1)])) == 1
+
+    def test_pair_completeness(self):
+        truth = GroundTruth([(1, 2), (3, 4)])
+        assert truth.pair_completeness([(2, 1)]) == 0.5
+        assert truth.pair_completeness([(1, 2), (3, 4)]) == 1.0
+        assert truth.pair_completeness([]) == 0.0
+
+    def test_pair_completeness_empty_truth(self):
+        assert GroundTruth().pair_completeness([(1, 2)]) == 1.0
+
+    def test_iteration_yields_canonical_pairs(self):
+        for left, right in GroundTruth([(5, 2)]):
+            assert left < right
+
+
+class TestDataset:
+    def test_lookup_by_pid(self, toy_dirty_dataset):
+        assert toy_dirty_dataset[3].pid == 3
+        assert toy_dirty_dataset.get(999) is None
+
+    def test_duplicate_pids_rejected(self):
+        profiles = [make_profile(1, "a"), make_profile(1, "b")]
+        with pytest.raises(ValueError):
+            Dataset("bad", profiles, GroundTruth(), ERKind.DIRTY)
+
+    def test_clean_clean_requires_sources_0_1(self):
+        profiles = [make_profile(0, "a", source=2)]
+        with pytest.raises(ValueError):
+            Dataset("bad", profiles, GroundTruth(), ERKind.CLEAN_CLEAN)
+
+    def test_source_sizes(self, toy_clean_clean_dataset):
+        assert toy_clean_clean_dataset.source_sizes() == {0: 3, 1: 3}
+
+    def test_dirty_predicate_allows_all_distinct(self, toy_dirty_dataset):
+        predicate = toy_dirty_dataset.comparison_predicate()
+        a, b = toy_dirty_dataset[0], toy_dirty_dataset[1]
+        assert predicate(a, b)
+        assert not predicate(a, a)
+
+    def test_clean_clean_predicate_requires_cross_source(self, toy_clean_clean_dataset):
+        predicate = toy_clean_clean_dataset.comparison_predicate()
+        same_source = (toy_clean_clean_dataset[0], toy_clean_clean_dataset[1])
+        cross_source = (toy_clean_clean_dataset[0], toy_clean_clean_dataset[3])
+        assert not predicate(*same_source)
+        assert predicate(*cross_source)
+
+    def test_describe(self, toy_dirty_dataset):
+        description = toy_dirty_dataset.describe()
+        assert description["profiles"] == 6
+        assert description["matches"] == 4
+        assert description["kind"] == "dirty"
+
+    def test_iteration_and_len(self, toy_dirty_dataset):
+        assert len(toy_dirty_dataset) == 6
+        assert sum(1 for _ in toy_dirty_dataset) == 6
+
+    def test_repr(self, toy_dirty_dataset):
+        assert "toy_dirty" in repr(toy_dirty_dataset)

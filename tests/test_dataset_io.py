@@ -1,0 +1,133 @@
+"""Tests for dataset file I/O (CSV / JSON lines / ground truth)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.dataset import ERKind, GroundTruth
+from repro.datasets.io import (
+    dataset_from_csv,
+    dataset_from_jsonl,
+    dataset_to_jsonl,
+    ground_truth_from_csv,
+    ground_truth_to_csv,
+)
+from repro.datasets.registry import load_dataset
+
+
+class TestCSV:
+    def test_basic_load(self):
+        csv_text = "pid,source,title,year\n0,0,The Matrix,1999\n1,1,Matrix,\n"
+        dataset = dataset_from_csv(io.StringIO(csv_text), kind=ERKind.CLEAN_CLEAN)
+        assert len(dataset) == 2
+        assert dataset[0].source == 0
+        assert dataset[1].source == 1
+        # empty year cell dropped
+        assert {a.name for a in dataset[1].attributes} == {"title"}
+
+    def test_missing_id_column(self):
+        with pytest.raises(ValueError):
+            dataset_from_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_custom_columns(self):
+        csv_text = "record_id,origin,name\n5,1,Alice\n"
+        dataset = dataset_from_csv(
+            io.StringIO(csv_text), id_column="record_id", source_column="origin"
+        )
+        assert dataset[5].source == 1
+
+    def test_source_defaults_to_zero(self):
+        dataset = dataset_from_csv(io.StringIO("pid,name\n0,Bob\n"))
+        assert dataset[0].source == 0
+
+    def test_ground_truth_attached(self):
+        truth = GroundTruth([(0, 1)])
+        dataset = dataset_from_csv(
+            io.StringIO("pid,name\n0,a\n1,a\n"), ground_truth=truth
+        )
+        assert len(dataset.ground_truth) == 1
+
+
+class TestJSONL:
+    def test_basic_load(self):
+        jsonl = '{"pid": 0, "title": "Heat", "year": 1995}\n{"pid": 1, "source": 1, "name": "Heat"}\n'
+        dataset = dataset_from_jsonl(io.StringIO(jsonl), kind=ERKind.CLEAN_CLEAN)
+        assert len(dataset) == 2
+        assert dataset[0].text() == "Heat 1995"  # numbers stringified
+        assert dataset[1].source == 1
+
+    def test_heterogeneous_keys(self):
+        jsonl = '{"pid": 0, "a": "x"}\n{"pid": 1, "b": "y", "c": "z"}\n'
+        dataset = dataset_from_jsonl(io.StringIO(jsonl))
+        assert {a.name for a in dataset[1].attributes} == {"b", "c"}
+
+    def test_null_values_dropped(self):
+        dataset = dataset_from_jsonl(io.StringIO('{"pid": 0, "a": null, "b": "y"}\n'))
+        assert {a.name for a in dataset[0].attributes} == {"b"}
+
+    def test_missing_pid(self):
+        with pytest.raises(ValueError):
+            dataset_from_jsonl(io.StringIO('{"a": "x"}\n'))
+
+    def test_blank_lines_skipped(self):
+        dataset = dataset_from_jsonl(io.StringIO('\n{"pid": 0, "a": "x"}\n\n'))
+        assert len(dataset) == 1
+
+    def test_round_trip(self):
+        original = load_dataset("dblp_acm", scale=0.05)
+        buffer = io.StringIO()
+        dataset_to_jsonl(original, buffer)
+        buffer.seek(0)
+        loaded = dataset_from_jsonl(
+            buffer, kind=original.kind, ground_truth=original.ground_truth
+        )
+        assert len(loaded) == len(original)
+        for profile in original:
+            assert loaded[profile.pid].tokens() == profile.tokens()
+            assert loaded[profile.pid].source == profile.source
+
+    def test_round_trip_to_path(self, tmp_path):
+        original = load_dataset("census_2m", scale=0.05)
+        path = tmp_path / "census.jsonl"
+        dataset_to_jsonl(original, str(path))
+        loaded = dataset_from_jsonl(str(path))
+        assert len(loaded) == len(original)
+
+
+class TestGroundTruthCSV:
+    def test_round_trip(self, tmp_path):
+        truth = GroundTruth([(0, 1), (2, 3)])
+        path = tmp_path / "truth.csv"
+        ground_truth_to_csv(truth, str(path))
+        loaded = ground_truth_from_csv(str(path))
+        assert set(loaded) == set(truth)
+
+    def test_header_tolerated(self):
+        loaded = ground_truth_from_csv(io.StringIO("pid_left,pid_right\n1,2\n3,4\n"))
+        assert len(loaded) == 2
+
+    def test_malformed_rows_skipped(self):
+        loaded = ground_truth_from_csv(io.StringIO("1,2\nbroken\n,\n3,4\n"))
+        assert len(loaded) == 2
+
+
+class TestEndToEndFromFiles:
+    def test_resolve_loaded_dataset(self, tmp_path):
+        """Full user journey: export → import → resolve."""
+        from repro import resolve_stream
+
+        original = load_dataset("dblp_acm", scale=0.1)
+        data_path = tmp_path / "data.jsonl"
+        truth_path = tmp_path / "truth.csv"
+        dataset_to_jsonl(original, str(data_path))
+        ground_truth_to_csv(original.ground_truth, str(truth_path))
+
+        loaded = dataset_from_jsonl(
+            str(data_path),
+            kind=ERKind.CLEAN_CLEAN,
+            ground_truth=ground_truth_from_csv(str(truth_path)),
+        )
+        result = resolve_stream(loaded, n_increments=5, budget=30.0)
+        assert result.final_pc > 0.5

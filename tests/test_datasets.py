@@ -1,0 +1,167 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ERKind
+from repro.datasets.bibliographic import generate_dblp_acm
+from repro.datasets.census import generate_census
+from repro.datasets.dbpedia import generate_dbpedia
+from repro.datasets.generators import Corruptor, synthesize_vocabulary
+from repro.datasets.movies import generate_movies
+from repro.datasets.registry import available_datasets, load_dataset
+
+import random
+
+
+class TestCorruptor:
+    def _corruptor(self, seed=1):
+        return Corruptor(random.Random(seed))
+
+    def test_typo_changes_string(self):
+        corruptor = self._corruptor()
+        value = "abcdefgh"
+        results = {corruptor.typo(value) for _ in range(20)}
+        assert any(result != value for result in results)
+
+    def test_typo_short_string_unchanged(self):
+        assert self._corruptor().typo("a") == "a"
+
+    def test_drop_token(self):
+        corruptor = self._corruptor()
+        assert len(corruptor.drop_token("one two three").split()) == 2
+        assert corruptor.drop_token("single") == "single"
+
+    def test_abbreviate_token(self):
+        corruptor = self._corruptor()
+        result = corruptor.abbreviate_token("alpha beta")
+        assert result in ("a beta", "alpha b")
+
+    def test_deterministic_given_seed(self):
+        a = Corruptor(random.Random(7))
+        b = Corruptor(random.Random(7))
+        value = "the quick brown fox"
+        assert [a.corrupt(value) for _ in range(10)] == [b.corrupt(value) for _ in range(10)]
+
+
+class TestSynthesizeVocabulary:
+    def test_count_and_uniqueness(self):
+        words = synthesize_vocabulary(random.Random(1), 100)
+        assert len(words) == 100
+        assert len(set(words)) == 100
+
+    def test_deterministic(self):
+        a = synthesize_vocabulary(random.Random(5), 50)
+        b = synthesize_vocabulary(random.Random(5), 50)
+        assert a == b
+
+    def test_words_are_tokenizable(self):
+        for word in synthesize_vocabulary(random.Random(2), 20):
+            assert word.isalpha()
+            assert len(word) >= 2
+
+
+class TestGenerators:
+    def test_dblp_acm_shape(self):
+        dataset = generate_dblp_acm(size_dblp=100, size_acm=80, seed=1)
+        assert dataset.kind is ERKind.CLEAN_CLEAN
+        assert dataset.source_sizes() == {0: 100, 1: 80}
+        assert 60 <= len(dataset.ground_truth) <= 80
+
+    def test_dblp_acm_validation(self):
+        with pytest.raises(ValueError):
+            generate_dblp_acm(size_dblp=10, size_acm=20)
+
+    def test_movies_shape(self):
+        dataset = generate_movies(size_source0=120, size_source1=100, seed=2)
+        assert dataset.kind is ERKind.CLEAN_CLEAN
+        assert len(dataset) == 220
+        assert len(dataset.ground_truth) > 80
+
+    def test_census_shape(self):
+        dataset = generate_census(n_profiles=200, seed=3)
+        assert dataset.kind is ERKind.DIRTY
+        assert len(dataset) == 200
+        assert len(dataset.ground_truth) > 50  # multi-member clusters → many pairs
+
+    def test_census_validation(self):
+        with pytest.raises(ValueError):
+            generate_census(n_profiles=1)
+
+    def test_dbpedia_shape(self):
+        dataset = generate_dbpedia(size_source0=100, size_source1=150, n_matches=60, seed=4)
+        assert dataset.source_sizes() == {0: 100, 1: 150}
+        assert len(dataset.ground_truth) == 60
+
+    def test_dbpedia_validation(self):
+        with pytest.raises(ValueError):
+            generate_dbpedia(size_source0=10, size_source1=10, n_matches=20)
+
+    def test_matches_reference_existing_profiles(self):
+        for dataset in (
+            generate_dblp_acm(size_dblp=50, size_acm=40),
+            generate_movies(size_source0=50, size_source1=40),
+            generate_census(n_profiles=80),
+            generate_dbpedia(size_source0=50, size_source1=60, n_matches=30),
+        ):
+            for pid_x, pid_y in dataset.ground_truth:
+                assert dataset.get(pid_x) is not None
+                assert dataset.get(pid_y) is not None
+
+    def test_clean_clean_matches_are_cross_source(self):
+        dataset = generate_movies(size_source0=60, size_source1=50)
+        for pid_x, pid_y in dataset.ground_truth:
+            assert dataset[pid_x].source != dataset[pid_y].source
+
+    def test_matches_share_tokens(self):
+        """Ground-truth pairs must be discoverable by token blocking."""
+        dataset = generate_dblp_acm(size_dblp=80, size_acm=70)
+        sharing = sum(
+            1
+            for x, y in dataset.ground_truth
+            if dataset[x].tokens() & dataset[y].tokens()
+        )
+        assert sharing / len(dataset.ground_truth) > 0.95
+
+    def test_generators_deterministic(self):
+        a = generate_census(n_profiles=100, seed=9)
+        b = generate_census(n_profiles=100, seed=9)
+        assert [p.pid for p in a] == [p.pid for p in b]
+        assert [tuple(p.values()) for p in a] == [tuple(p.values()) for p in b]
+        assert set(a.ground_truth) == set(b.ground_truth)
+
+    def test_dbpedia_has_long_profiles(self):
+        dataset = generate_dbpedia(size_source0=100, size_source1=150, n_matches=50)
+        lengths = [p.text_length() for p in dataset]
+        assert max(lengths) > 200  # long abstracts exist
+        assert min(lengths) < 100  # alongside short profiles
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_datasets() == ["census_2m", "dblp_acm", "dbpedia", "movies"]
+
+    @pytest.mark.parametrize("name", ["dblp_acm", "movies", "census_2m", "dbpedia"])
+    def test_load_each(self, name):
+        dataset = load_dataset(name, scale=0.05)
+        assert len(dataset) > 0
+        assert dataset.name == name
+
+    def test_scale_changes_size(self):
+        small = load_dataset("census_2m", scale=0.1)
+        large = load_dataset("census_2m", scale=0.3)
+        assert len(large) > len(small)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("movies", scale=0.0)
+
+    def test_seed_override(self):
+        a = load_dataset("dblp_acm", scale=0.1, seed=1)
+        b = load_dataset("dblp_acm", scale=0.1, seed=2)
+        assert [tuple(p.values()) for p in a] != [tuple(p.values()) for p in b]

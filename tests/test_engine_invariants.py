@@ -1,0 +1,65 @@
+"""Cross-cutting engine invariants (both engines, several systems)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.increments import make_stream_plan, split_into_increments
+from repro.evaluation.experiments import make_matcher, make_system
+from repro.streaming.engine import StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
+
+SYSTEMS = ("I-PES", "I-PCS", "I-PBS", "I-BASE")
+ENGINES = (StreamingEngine, PipelinedStreamingEngine)
+
+
+@pytest.mark.parametrize("system_name", SYSTEMS)
+@pytest.mark.parametrize("engine_factory", ENGINES)
+def test_recorder_matches_matcher_counts(system_name, engine_factory, small_dblp_acm):
+    """Every comparison the engine records went through the matcher."""
+    plan = make_stream_plan(split_into_increments(small_dblp_acm, 8, seed=0), rate=5.0)
+    matcher = make_matcher("JS")
+    engine = engine_factory(matcher, budget=60.0)
+    result = engine.run(make_system(system_name, small_dblp_acm), plan,
+                        small_dblp_acm.ground_truth)
+    assert result.comparisons_executed == matcher.comparisons_executed
+
+
+@pytest.mark.parametrize("engine_factory", ENGINES)
+def test_duplicates_subset_of_executed_matches(engine_factory, small_dblp_acm):
+    """Classified duplicates that are true matches appear in match_events."""
+    plan = make_stream_plan(split_into_increments(small_dblp_acm, 5, seed=0), rate=None)
+    engine = engine_factory(make_matcher("JS"), budget=60.0)
+    result = engine.run(make_system("I-PES", small_dblp_acm), plan,
+                        small_dblp_acm.ground_truth)
+    event_pairs = {pair for _, pair in result.match_events}
+    true_duplicates = {
+        pair for pair in result.duplicates if pair in small_dblp_acm.ground_truth
+    }
+    assert true_duplicates <= event_pairs
+
+
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_engines_agree_on_exhaustive_outcome(system_name, small_dblp_acm):
+    """Given enough budget, serial and pipelined engines finish with the
+    same final PC (the same work gets done, only timing differs)."""
+    plan = make_stream_plan(split_into_increments(small_dblp_acm, 10, seed=0), rate=20.0)
+    serial = StreamingEngine(make_matcher("JS"), budget=500.0).run(
+        make_system(system_name, small_dblp_acm), plan, small_dblp_acm.ground_truth
+    )
+    pipelined = PipelinedStreamingEngine(make_matcher("JS"), budget=500.0).run(
+        make_system(system_name, small_dblp_acm), plan, small_dblp_acm.ground_truth
+    )
+    assert serial.work_exhausted and pipelined.work_exhausted
+    assert serial.final_pc == pytest.approx(pipelined.final_pc, abs=0.02)
+
+
+@pytest.mark.parametrize("engine_factory", ENGINES)
+def test_budget_zero_comparisons_before_first_arrival(engine_factory, small_dblp_acm):
+    plan = make_stream_plan(
+        split_into_increments(small_dblp_acm, 4, seed=0), rate=1.0, start_time=10.0
+    )
+    engine = engine_factory(make_matcher("JS"), budget=60.0)
+    result = engine.run(make_system("I-PES", small_dblp_acm), plan,
+                        small_dblp_acm.ground_truth)
+    assert result.curve.pc_at_time(9.9) == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the additional similarity functions (Jaro-Winkler, cosine)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.extra_similarity import cosine_tokens, jaro, jaro_winkler
+
+short_text = st.text(alphabet="abcde", max_size=16)
+
+
+class TestJaro:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("martha", "marhta", 0.944444),
+            ("dixon", "dicksonx", 0.766667),
+            ("jellyfish", "smellyfish", 0.896296),
+            ("abc", "abc", 1.0),
+            ("", "", 0.0),
+            ("abc", "", 0.0),
+            ("abc", "xyz", 0.0),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert jaro(a, b) == pytest.approx(expected, abs=1e-5)
+
+    @given(short_text, short_text)
+    def test_symmetry_and_bounds(self, a, b):
+        value = jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro(b, a))
+
+    @given(st.text(alphabet="abcde", min_size=1, max_size=16))
+    def test_identity(self, a):
+        assert jaro(a, a) == 1.0
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.961111, abs=1e-5)
+
+    def test_prefix_boost(self):
+        assert jaro_winkler("prefixed", "prefixes") > jaro("prefixed", "prefixes")
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("abcd", "xbcd") == pytest.approx(jaro("abcd", "xbcd"))
+
+    def test_prefix_scale_validation(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_dominates_jaro_and_bounded(self, a, b):
+        jw = jaro_winkler(a, b)
+        assert jaro(a, b) - 1e-12 <= jw <= 1.0
+
+
+class TestCosineTokens:
+    def test_identical(self):
+        assert cosine_tokens(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_tokens(["a"], ["b"]) == 0.0
+
+    def test_empty(self):
+        assert cosine_tokens([], ["a"]) == 0.0
+
+    def test_multiset_sensitivity(self):
+        once = cosine_tokens(["a", "b"], ["a", "c"])
+        weighted = cosine_tokens(["a", "a", "a", "b"], ["a", "c"])
+        assert weighted > once
+
+    @given(
+        st.lists(st.sampled_from("abcdef"), max_size=12),
+        st.lists(st.sampled_from("abcdef"), max_size=12),
+    )
+    def test_bounds_and_symmetry(self, x, y):
+        value = cosine_tokens(x, y)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == pytest.approx(cosine_tokens(y, x))

@@ -1,0 +1,117 @@
+"""Tests for increment splitting and stream plans."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.increments import Increment, make_stream_plan, split_into_increments
+
+
+class TestSplitIntoIncrements:
+    def test_partition_is_exact(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 4, seed=1)
+        pids = [p.pid for increment in increments for p in increment]
+        assert sorted(pids) == [0, 1, 2, 3, 4, 5]
+
+    def test_sizes_nearly_equal(self, small_census):
+        increments = split_into_increments(small_census, 7)
+        sizes = [len(increment) for increment in increments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_for_seed(self, toy_dirty_dataset):
+        a = split_into_increments(toy_dirty_dataset, 3, seed=42)
+        b = split_into_increments(toy_dirty_dataset, 3, seed=42)
+        assert [[p.pid for p in inc] for inc in a] == [[p.pid for p in inc] for inc in b]
+
+    def test_seed_changes_order(self, small_census):
+        a = split_into_increments(small_census, 5, seed=1)
+        b = split_into_increments(small_census, 5, seed=2)
+        assert [p.pid for p in a[0]] != [p.pid for p in b[0]]
+
+    def test_no_shuffle_preserves_order(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 2, shuffle=False)
+        assert [p.pid for p in increments[0]] == [0, 1, 2]
+
+    def test_more_increments_than_profiles(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 100)
+        assert len(increments) == 6
+        assert all(len(increment) == 1 for increment in increments)
+
+    def test_invalid_count(self, toy_dirty_dataset):
+        with pytest.raises(ValueError):
+            split_into_increments(toy_dirty_dataset, 0)
+
+    def test_indexes_are_sequential(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 3)
+        assert [increment.index for increment in increments] == [0, 1, 2]
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_partition_property(self, n_increments):
+        # construct a dataset inline to avoid fixture/hypothesis interaction
+        from repro.core.dataset import Dataset, ERKind, GroundTruth
+        from tests.conftest import make_profile
+
+        profiles = [make_profile(i, f"token{i} shared") for i in range(13)]
+        dataset = Dataset("d", profiles, GroundTruth(), ERKind.DIRTY)
+        increments = split_into_increments(dataset, n_increments, seed=3)
+        pids = sorted(p.pid for inc in increments for p in inc)
+        assert pids == list(range(13))
+
+
+class TestStreamPlan:
+    def test_static_plan_all_at_start(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 3)
+        plan = make_stream_plan(increments, rate=None)
+        assert plan.arrival_times == (0.0, 0.0, 0.0)
+        assert plan.rate is None
+
+    def test_rate_spacing(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 3)
+        plan = make_stream_plan(increments, rate=2.0)
+        assert plan.arrival_times == (0.0, 0.5, 1.0)
+        assert plan.last_arrival == 1.0
+
+    def test_start_time_offset(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 2)
+        plan = make_stream_plan(increments, rate=1.0, start_time=5.0)
+        assert plan.arrival_times == (5.0, 6.0)
+
+    def test_invalid_rate(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 2)
+        with pytest.raises(ValueError):
+            make_stream_plan(increments, rate=0.0)
+
+    def test_total_profiles(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 4)
+        plan = make_stream_plan(increments)
+        assert plan.total_profiles == 6
+
+    def test_misaligned_arrays_rejected(self):
+        from repro.core.increments import StreamPlan
+
+        with pytest.raises(ValueError):
+            StreamPlan(increments=(Increment(0, ()),), arrival_times=())
+
+    def test_decreasing_times_rejected(self):
+        from repro.core.increments import StreamPlan
+
+        with pytest.raises(ValueError):
+            StreamPlan(
+                increments=(Increment(0, ()), Increment(1, ())),
+                arrival_times=(1.0, 0.5),
+            )
+
+    def test_iteration(self, toy_dirty_dataset):
+        increments = split_into_increments(toy_dirty_dataset, 2)
+        plan = make_stream_plan(increments, rate=1.0)
+        entries = list(plan)
+        assert entries[0][0] == 0.0
+        assert entries[1][0] == 1.0
+
+
+class TestIncrement:
+    def test_is_empty(self):
+        assert Increment(0, ()).is_empty
+        assert len(Increment(0, ())) == 0

@@ -1,0 +1,60 @@
+"""Tests for run-result serialization (JSON/CSV)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import resolve_stream
+from repro.evaluation.io import (
+    curve_rows,
+    run_result_to_dict,
+    run_result_to_json,
+    write_curve_csv,
+)
+
+
+def _result(toy_dirty_dataset):
+    return resolve_stream(toy_dirty_dataset, n_increments=3, budget=20.0)
+
+
+class TestRunResultToDict:
+    def test_schema(self, toy_dirty_dataset):
+        payload = run_result_to_dict(_result(toy_dirty_dataset))
+        for key in (
+            "system", "matcher", "budget", "clock_end", "comparisons_executed",
+            "final_pc", "stream_consumed_at", "work_exhausted",
+            "increments_ingested", "duplicates", "curve", "total_matches",
+        ):
+            assert key in payload
+
+    def test_round_trips_through_json(self, toy_dirty_dataset):
+        text = run_result_to_json(_result(toy_dirty_dataset))
+        payload = json.loads(text)
+        assert payload["total_matches"] == 4
+        assert all(len(pair) == 2 for pair in payload["duplicates"])
+
+    def test_curve_points_serialized(self, toy_dirty_dataset):
+        payload = run_result_to_dict(_result(toy_dirty_dataset))
+        assert payload["curve"][0] == {"time": 0.0, "comparisons": 0, "matches": 0}
+        times = [point["time"] for point in payload["curve"]]
+        assert times == sorted(times)
+
+
+class TestCurveCSV:
+    def test_rows_include_pc(self, toy_dirty_dataset):
+        rows = curve_rows(_result(toy_dirty_dataset))
+        assert rows[0] == (0.0, 0, 0, 0.0)
+        assert all(0.0 <= pc <= 1.0 for _, _, _, pc in rows)
+
+    def test_write_to_file_object(self, toy_dirty_dataset):
+        buffer = io.StringIO()
+        write_curve_csv(_result(toy_dirty_dataset), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "time,comparisons,matches,pc"
+        assert len(lines) > 1
+
+    def test_write_to_path(self, toy_dirty_dataset, tmp_path):
+        path = tmp_path / "curve.csv"
+        write_curve_csv(_result(toy_dirty_dataset), str(path))
+        assert path.read_text().startswith("time,")

@@ -1,0 +1,83 @@
+"""Tests for the I-PCS comparison-centric strategy."""
+
+from __future__ import annotations
+
+from repro.core.increments import Increment
+from repro.pier.base import PierSystem
+from repro.pier.ipcs import IPCS
+from repro.streaming.system import PipelineStats
+
+from tests.conftest import make_profile
+
+
+def _stats() -> PipelineStats:
+    return PipelineStats(now=0.0, input_rate=None, mean_match_cost=1e-4, backlog=0)
+
+
+def _system(**kwargs) -> PierSystem:
+    return PierSystem(IPCS(**kwargs))
+
+
+class TestIPCS:
+    def test_highest_weight_first(self):
+        system = _system(beta=0.01)
+        profiles = (
+            make_profile(0, "alpha beta gamma"),
+            make_profile(1, "alpha beta gamma"),   # CBS 3 with p0
+            make_profile(2, "alpha delta epsilon"),  # CBS 1 with p0
+        )
+        system.ingest(Increment(0, profiles))
+        first = system.strategy.dequeue()
+        assert first == (0, 1)
+
+    def test_len_tracks_queue(self):
+        system = _system()
+        assert len(system.strategy) == 0
+        system.ingest(Increment(0, (make_profile(0, "x1 y1"), make_profile(1, "x1 y1"))))
+        assert len(system.strategy) > 0
+
+    def test_dequeue_empty_returns_none(self):
+        assert IPCS().dequeue() is None
+
+    def test_bounded_capacity_evicts_lightest(self):
+        system = PierSystem(IPCS(capacity=2, beta=0.01))
+        profiles = tuple(make_profile(pid, "shared tok%d" % pid) for pid in range(6))
+        system.ingest(Increment(0, profiles))
+        assert len(system.strategy.index) <= 2
+
+    def test_refill_on_empty_increment(self):
+        system = _system()
+        system.ingest(Increment(0, (make_profile(0, "a1 b1"), make_profile(1, "a1 b1"))))
+        while system.strategy.dequeue() is not None:
+            pass
+        # empty increment triggers GetComparisons refill (Alg. 2 l. 10-11)
+        system.ingest(Increment(1, ()))
+        assert system.strategy.dequeue() is not None
+
+    def test_refill_skips_executed(self):
+        system = _system()
+        system.ingest(Increment(0, (make_profile(0, "a1 b1"), make_profile(1, "a1 b1"))))
+        # execute everything through the system path so _executed is updated
+        while True:
+            result = system.emit(_stats())
+            if not result.batch and system.on_idle(_stats()) is None:
+                break
+        count_before = len(system._executed)
+        assert system.on_idle(_stats()) is None
+        assert len(system._executed) == count_before
+
+    def test_exhausted_semantics(self):
+        system = _system()
+        strategy: IPCS = system.strategy
+        assert strategy.exhausted(system)  # nothing ingested at all
+        system.ingest(Increment(0, (make_profile(0, "a1 b1"), make_profile(1, "a1 b1"))))
+        assert not strategy.exhausted(system)
+
+    def test_weights_are_cbs(self):
+        system = _system(beta=0.01)
+        system.ingest(
+            Increment(0, (make_profile(0, "alpha beta"), make_profile(1, "alpha beta")))
+        )
+        pair, key = system.strategy.index.dequeue_with_key()
+        assert pair == (0, 1)
+        assert key == 2.0

@@ -1,0 +1,125 @@
+"""Tests for matchers and cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching.matcher import CostModel, EditDistanceMatcher, JaccardMatcher
+
+from tests.conftest import make_profile
+
+
+class TestCostModel:
+    def test_charge(self):
+        model = CostModel(base=1.0, per_unit=0.5)
+        assert model.charge(4) == 3.0
+
+    def test_zero_units(self):
+        assert CostModel(base=2.0, per_unit=1.0).charge(0) == 2.0
+
+
+class TestJaccardMatcher:
+    def test_identical_profiles_match(self):
+        matcher = JaccardMatcher(0.5)
+        a = make_profile(0, "alpha beta gamma")
+        b = make_profile(1, "alpha beta gamma")
+        result = matcher.evaluate(a, b)
+        assert result.is_match
+        assert result.similarity == 1.0
+
+    def test_disjoint_profiles_do_not_match(self):
+        matcher = JaccardMatcher(0.1)
+        result = matcher.evaluate(make_profile(0, "alpha"), make_profile(1, "omega"))
+        assert not result.is_match
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            JaccardMatcher(1.5)
+
+    def test_stats_accumulate(self):
+        matcher = JaccardMatcher(0.5)
+        a, b = make_profile(0, "x1 y1"), make_profile(1, "x1 y1")
+        matcher.evaluate(a, b)
+        matcher.evaluate(a, make_profile(2, "zz"))
+        assert matcher.comparisons_executed == 2
+        assert matcher.matches_found == 1
+        assert matcher.total_cost > 0
+        assert matcher.mean_cost == pytest.approx(matcher.total_cost / 2)
+
+    def test_reset_stats(self):
+        matcher = JaccardMatcher(0.5)
+        matcher.evaluate(make_profile(0, "aa bb"), make_profile(1, "aa bb"))
+        matcher.reset_stats()
+        assert matcher.comparisons_executed == 0
+        assert matcher.mean_cost == 0.0
+
+    def test_cost_grows_with_tokens(self):
+        matcher = JaccardMatcher(0.5)
+        small = matcher.estimate_cost(make_profile(0, "aa"), make_profile(1, "bb"))
+        large = matcher.estimate_cost(
+            make_profile(2, "aa bb cc dd ee"), make_profile(3, "ff gg hh ii jj")
+        )
+        assert large > small
+
+    def test_estimate_does_not_execute(self):
+        matcher = JaccardMatcher(0.5)
+        matcher.estimate_cost(make_profile(0, "aa"), make_profile(1, "aa"))
+        assert matcher.comparisons_executed == 0
+
+
+class TestEditDistanceMatcher:
+    def test_near_identical_match(self):
+        matcher = EditDistanceMatcher(0.8)
+        a = make_profile(0, "progressive entity resolution")
+        b = make_profile(1, "progressive entity resolutino")
+        assert matcher.evaluate(a, b).is_match
+
+    def test_dissimilar_rejected_by_prefilter(self):
+        matcher = EditDistanceMatcher(0.8)
+        a = make_profile(0, "aaaa bbbb cccc")
+        b = make_profile(1, "xxxx yyyy zzzz")
+        result = matcher.evaluate(a, b)
+        assert not result.is_match
+        assert result.similarity <= matcher.prefilter_floor
+
+    def test_prefilter_never_flips_positive_decisions(self):
+        """Any pair at or above threshold must survive the bigram prefilter."""
+        matcher = EditDistanceMatcher(0.7)
+        pairs = [
+            ("alice smith springfield", "alice smith springfeld"),
+            ("the matrix 1999", "the matrix 1999 film"),
+            ("data integration systems", "data integration system"),
+        ]
+        from repro.matching.similarity import normalized_edit_similarity
+
+        for left, right in pairs:
+            exact = normalized_edit_similarity(left, right)
+            got = matcher.similarity(make_profile(0, left), make_profile(1, right))
+            assert (got >= 0.7) == (exact >= 0.7)
+
+    def test_quadratic_cost(self):
+        matcher = EditDistanceMatcher(0.8)
+        short = matcher.estimate_cost(make_profile(0, "ab"), make_profile(1, "cd"))
+        long = matcher.estimate_cost(
+            make_profile(2, "a" * 100), make_profile(3, "b" * 100)
+        )
+        assert long > short * 40
+
+    def test_text_truncation_configurable(self):
+        with pytest.raises(ValueError):
+            EditDistanceMatcher(0.8, max_text_length=4)
+
+    def test_ed_costs_exceed_js_costs(self):
+        js = JaccardMatcher()
+        ed = EditDistanceMatcher()
+        a = make_profile(0, "some moderately long profile text here")
+        b = make_profile(1, "another moderately long profile text there")
+        assert ed.estimate_cost(a, b) > js.estimate_cost(a, b)
+
+    def test_bigram_cache_reused(self):
+        matcher = EditDistanceMatcher(0.8)
+        a, b = make_profile(0, "alpha beta"), make_profile(1, "alpha beta")
+        matcher.evaluate(a, b)
+        cached = matcher._text_cache[a.pid]
+        matcher.evaluate(a, b)
+        assert matcher._text_cache[a.pid] is cached

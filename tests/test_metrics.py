@@ -1,0 +1,56 @@
+"""Tests for blocking/ER quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.blocks import BlockCollection
+from repro.core.dataset import GroundTruth
+from repro.evaluation.metrics import (
+    blocking_pair_completeness,
+    f_measure,
+    pair_completeness,
+    pairs_quality,
+    reduction_ratio,
+)
+
+from tests.conftest import make_profile
+
+
+@pytest.fixture
+def truth() -> GroundTruth:
+    return GroundTruth([(0, 1), (2, 3)])
+
+
+class TestPairMetrics:
+    def test_pair_completeness(self, truth):
+        assert pair_completeness([(1, 0)], truth) == 0.5
+
+    def test_pairs_quality(self, truth):
+        assert pairs_quality([(0, 1), (0, 2), (0, 3)], truth) == pytest.approx(1 / 3)
+
+    def test_pairs_quality_empty(self, truth):
+        assert pairs_quality([], truth) == 0.0
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(10, 100) == pytest.approx(0.9)
+        assert reduction_ratio(0, 0) == 0.0
+        assert reduction_ratio(200, 100) == 0.0  # clamped
+
+    def test_f_measure(self):
+        assert f_measure(0.5, 0.5) == pytest.approx(0.5)
+        assert f_measure(0.0, 0.0) == 0.0
+        assert f_measure(1.0, 0.5) == pytest.approx(2 / 3)
+
+
+class TestBlockingPC:
+    def test_ceiling_reflects_coblocking(self, truth):
+        collection = BlockCollection()
+        collection.add_profile(make_profile(0, "alpha"))
+        collection.add_profile(make_profile(1, "alpha"))
+        collection.add_profile(make_profile(2, "beta"))
+        collection.add_profile(make_profile(3, "gamma"))  # (2,3) not co-blocked
+        assert blocking_pair_completeness(collection, truth) == 0.5
+
+    def test_empty_truth(self):
+        assert blocking_pair_completeness(BlockCollection(), GroundTruth()) == 1.0

@@ -1,0 +1,101 @@
+"""Tests for the schema-agnostic entity profile model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import Attribute, EntityProfile
+from repro.core.tokenizer import Tokenizer
+
+
+class TestAttribute:
+    def test_holds_name_and_value(self):
+        attribute = Attribute("title", "The Matrix")
+        assert attribute.name == "title"
+        assert attribute.value == "The Matrix"
+
+    def test_rejects_non_string_value(self):
+        with pytest.raises(TypeError):
+            Attribute("year", 1999)
+
+    def test_is_hashable_and_comparable(self):
+        assert Attribute("a", "x") == Attribute("a", "x")
+        assert hash(Attribute("a", "x")) == hash(Attribute("a", "x"))
+        assert Attribute("a", "x") != Attribute("a", "y")
+
+
+class TestEntityProfile:
+    def test_construction_from_mapping(self):
+        profile = EntityProfile(1, {"title": "Matrix", "year": "1999"})
+        names = {attribute.name for attribute in profile.attributes}
+        assert names == {"title", "year"}
+
+    def test_construction_from_pairs(self):
+        profile = EntityProfile(1, [("a", "x"), ("b", "y")])
+        assert len(profile.attributes) == 2
+
+    def test_construction_from_attribute_objects(self):
+        profile = EntityProfile(1, [Attribute("a", "x")])
+        assert profile.attributes[0].value == "x"
+
+    def test_none_values_dropped(self):
+        profile = EntityProfile(1, [("a", None), ("b", "y")])
+        assert len(profile.attributes) == 1
+
+    def test_empty_values_dropped(self):
+        profile = EntityProfile(1, {"a": "", "b": "y"})
+        assert len(profile.attributes) == 1
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            EntityProfile(-1, {"a": "x"})
+
+    def test_default_source_is_zero(self):
+        assert EntityProfile(0, {}).source == 0
+
+    def test_tokens_are_lowercased_and_split(self):
+        profile = EntityProfile(1, {"title": "The Matrix (1999)"})
+        assert profile.tokens() == frozenset({"matrix", "1999"})
+
+    def test_tokens_union_over_attributes(self):
+        profile = EntityProfile(1, {"a": "alpha beta", "b": "beta gamma"})
+        assert profile.tokens() == frozenset({"alpha", "beta", "gamma"})
+
+    def test_tokens_cached(self):
+        profile = EntityProfile(1, {"a": "alpha"})
+        assert profile.tokens() is profile.tokens()
+
+    def test_custom_tokenizer_bypasses_cache(self):
+        profile = EntityProfile(1, {"a": "alpha xy"})
+        strict = Tokenizer(min_length=3)
+        assert "xy" not in profile.tokens(strict)
+        # default tokenizer still sees the short token (min_length=2)
+        assert "xy" in profile.tokens()
+
+    def test_text_concatenates_values(self):
+        profile = EntityProfile(1, [("a", "hello"), ("b", "world")])
+        assert profile.text() == "hello world"
+
+    def test_text_length_matches_text(self):
+        profile = EntityProfile(1, [("a", "hello"), ("b", "world")])
+        assert profile.text_length() == len(profile.text())
+
+    def test_text_length_empty_profile(self):
+        assert EntityProfile(1, {}).text_length() == 0
+
+    def test_equality_and_hash_by_pid(self):
+        a = EntityProfile(7, {"x": "1"})
+        b = EntityProfile(7, {"y": "2"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != EntityProfile(8, {"x": "1"})
+
+    def test_equality_with_other_types(self):
+        assert EntityProfile(1, {}) != "not a profile"
+
+    def test_repr_mentions_pid(self):
+        assert "pid=3" in repr(EntityProfile(3, {"a": "x"}))
+
+    def test_values_iterates_in_order(self):
+        profile = EntityProfile(1, [("a", "first"), ("b", "second")])
+        assert list(profile.values()) == ["first", "second"]

@@ -1,0 +1,129 @@
+"""Tests for the batch meta-blocking pruning algorithms (WEP/CEP/CNP)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.blocks import BlockCollection
+from repro.core.profile import EntityProfile
+from repro.metablocking.pruning import (
+    cardinality_edge_pruning,
+    cardinality_node_pruning,
+    enumerate_weighted_comparisons,
+    weighted_edge_pruning,
+)
+
+from tests.conftest import make_profile
+
+
+def _collection() -> BlockCollection:
+    collection = BlockCollection(max_block_size=None)
+    collection.add_profile(make_profile(0, "alpha beta gamma"))
+    collection.add_profile(make_profile(1, "alpha beta gamma"))  # CBS 3 with p0
+    collection.add_profile(make_profile(2, "alpha beta"))        # CBS 2 with p0/p1
+    collection.add_profile(make_profile(3, "alpha"))             # CBS 1 with all
+    return collection
+
+
+ALWAYS = lambda x, y: True
+
+
+class TestEnumerate:
+    def test_all_coblock_pairs_once(self):
+        weighted = enumerate_weighted_comparisons(_collection(), ALWAYS)
+        pairs = [w.pair for w in weighted]
+        assert len(pairs) == len(set(pairs)) == 6
+
+    def test_valid_pair_filter(self):
+        weighted = enumerate_weighted_comparisons(
+            _collection(), lambda x, y: (x, y) != (0, 1)
+        )
+        assert (0, 1) not in {w.pair for w in weighted}
+
+    def test_weights_positive(self):
+        for w in enumerate_weighted_comparisons(_collection(), ALWAYS):
+            assert w.weight > 0
+
+
+class TestWEP:
+    def test_keeps_above_average(self):
+        kept = weighted_edge_pruning(_collection(), ALWAYS)
+        # weights: (0,1)=3, (0,2)=(1,2)=2, (0,3)=(1,3)=(2,3)=1 → avg = 10/6
+        assert {w.pair for w in kept} == {(0, 1), (0, 2), (1, 2)}
+
+    def test_empty_collection(self):
+        assert weighted_edge_pruning(BlockCollection(), ALWAYS) == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=20))
+    @settings(max_examples=40)
+    def test_retained_weights_dominate_average(self, token_choices):
+        collection = BlockCollection(max_block_size=None)
+        for pid, token in enumerate(token_choices):
+            collection.add_profile(EntityProfile(pid, {"v": f"tok{token} own{pid}"}))
+        all_weighted = enumerate_weighted_comparisons(collection, ALWAYS)
+        kept = weighted_edge_pruning(collection, ALWAYS)
+        if all_weighted:
+            average = sum(w.weight for w in all_weighted) / len(all_weighted)
+            assert all(w.weight >= average for w in kept)
+
+
+class TestCEP:
+    def test_top_k(self):
+        kept = cardinality_edge_pruning(_collection(), ALWAYS, k=2)
+        assert len(kept) == 2
+        assert kept[0].pair == (0, 1)
+
+    def test_default_budget(self):
+        kept = cardinality_edge_pruning(_collection(), ALWAYS)
+        assert 1 <= len(kept) <= 6
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            cardinality_edge_pruning(_collection(), ALWAYS, k=0)
+
+    def test_k_larger_than_edges(self):
+        kept = cardinality_edge_pruning(_collection(), ALWAYS, k=100)
+        assert len(kept) == 6
+
+
+class TestCNP:
+    def test_per_node_budget(self):
+        kept = cardinality_node_pruning(_collection(), ALWAYS, k=1)
+        pairs = {w.pair for w in kept}
+        # each node's single best edge: (0,1) is best for 0 and 1; 2 keeps
+        # one of its CBS-2 edges; 3 keeps one CBS-1 edge
+        assert (0, 1) in pairs
+        assert len(pairs) >= 3
+
+    def test_no_duplicates(self):
+        kept = cardinality_node_pruning(_collection(), ALWAYS, k=3)
+        pairs = [w.pair for w in kept]
+        assert len(pairs) == len(set(pairs))
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            cardinality_node_pruning(_collection(), ALWAYS, k=0)
+
+    def test_cnp_superset_of_best_edges(self):
+        """Every profile's single heaviest edge survives CNP for any k>=1."""
+        collection = _collection()
+        kept_pairs = {w.pair for w in cardinality_node_pruning(collection, ALWAYS, k=1)}
+        weighted = enumerate_weighted_comparisons(collection, ALWAYS)
+        by_node: dict[int, tuple[float, tuple[int, int]]] = {}
+        for w in weighted:
+            for pid in w.pair:
+                best = by_node.get(pid)
+                if best is None or w.weight > best[0]:
+                    by_node[pid] = (w.weight, w.pair)
+        for _, (weight, pair) in by_node.items():
+            # the node's best pair (or an equally weighted one) is retained
+            assert any(
+                p in kept_pairs
+                for p in [pair]
+            ) or any(
+                w.weight >= weight and (pid in w.pair)
+                for pid in pair
+                for w in cardinality_node_pruning(collection, ALWAYS, k=1)
+            )

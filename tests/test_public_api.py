@@ -1,0 +1,68 @@
+"""Tests for the top-level public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import load_dataset, resolve_stream
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestResolveStream:
+    def test_static_run(self, toy_dirty_dataset):
+        result = resolve_stream(toy_dirty_dataset, n_increments=3, budget=10.0)
+        assert result.system_name == "PIER[I-PES]"
+        assert result.final_pc > 0.0
+
+    def test_algorithm_selection(self, toy_dirty_dataset):
+        result = resolve_stream(toy_dirty_dataset, algorithm="I-BASE", budget=10.0)
+        assert result.system_name == "I-BASE"
+
+    def test_matcher_selection(self, toy_dirty_dataset):
+        result = resolve_stream(toy_dirty_dataset, matcher="ED", budget=10.0)
+        assert result.matcher_name == "ED"
+
+    def test_rate_none_is_static(self, toy_dirty_dataset):
+        result = resolve_stream(toy_dirty_dataset, rate=None, budget=10.0)
+        assert result.stream_consumed_at is not None
+
+    def test_unknown_algorithm(self, toy_dirty_dataset):
+        with pytest.raises(ValueError):
+            resolve_stream(toy_dirty_dataset, algorithm="MAGIC")
+
+    def test_seed_determinism(self, small_census):
+        a = resolve_stream(small_census, n_increments=5, rate=4.0, budget=15.0, seed=3)
+        b = resolve_stream(small_census, n_increments=5, rate=4.0, budget=15.0, seed=3)
+        assert a.final_pc == b.final_pc
+        assert a.comparisons_executed == b.comparisons_executed
+
+    def test_duplicates_are_canonical_pairs(self, toy_dirty_dataset):
+        result = resolve_stream(toy_dirty_dataset, budget=10.0)
+        for left, right in result.duplicates:
+            assert left < right
+
+    def test_match_events_align_with_curve(self, toy_dirty_dataset):
+        result = resolve_stream(toy_dirty_dataset, budget=10.0)
+        assert len(result.match_events) == int(
+            result.final_pc * len(toy_dirty_dataset.ground_truth) + 0.5
+        )
+        times = [time for time, _ in result.match_events]
+        assert times == sorted(times)
+
+
+class TestLoadDatasetViaTopLevel:
+    def test_available(self):
+        assert "movies" in repro.available_datasets()
+
+    def test_load(self):
+        dataset = load_dataset("movies", scale=0.05)
+        assert len(dataset) > 0

@@ -1,0 +1,107 @@
+"""Tests for rate estimation and the adaptive findK controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.priority.rates import AdaptiveK, RateEstimator
+
+
+class TestRateEstimator:
+    def test_no_estimate_before_two_samples(self):
+        estimator = RateEstimator()
+        assert estimator.rate is None
+        estimator.record(0.0)
+        assert estimator.rate is None
+
+    def test_steady_rate(self):
+        estimator = RateEstimator()
+        for i in range(10):
+            estimator.record(i * 0.5)
+        assert estimator.rate == pytest.approx(2.0, rel=0.01)
+
+    def test_rate_with_amounts(self):
+        estimator = RateEstimator()
+        for i in range(10):
+            estimator.record(float(i), amount=3.0)
+        assert estimator.rate == pytest.approx(3.0, rel=0.01)
+
+    def test_rate_at_decays_when_quiet(self):
+        estimator = RateEstimator()
+        for i in range(5):
+            estimator.record(i * 0.1)
+        busy_rate = estimator.rate_at(0.4)
+        quiet_rate = estimator.rate_at(100.0)
+        assert quiet_rate < busy_rate
+        assert quiet_rate < 0.1
+
+    def test_rate_at_before_samples(self):
+        assert RateEstimator().rate_at(1.0) is None
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            RateEstimator().record(0.0, amount=-1.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(alpha=0.0)
+
+    def test_reset(self):
+        estimator = RateEstimator()
+        estimator.record(0.0)
+        estimator.record(1.0)
+        estimator.reset()
+        assert estimator.rate is None
+        assert estimator.samples == 0
+
+    def test_adapts_to_rate_change(self):
+        estimator = RateEstimator(alpha=0.5)
+        for i in range(10):
+            estimator.record(i * 1.0)  # rate 1
+        for i in range(10):
+            estimator.record(10.0 + i * 0.1)  # rate 10
+        assert estimator.rate > 5.0
+
+
+class TestAdaptiveK:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveK(initial=2, minimum=4)
+        with pytest.raises(ValueError):
+            AdaptiveK(growth=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveK(shrink=1.5)
+
+    def test_grows_when_matcher_has_headroom(self):
+        controller = AdaptiveK(initial=64)
+        k = controller.update(input_rate=1.0, service_rate=100.0)
+        assert k > 64
+
+    def test_shrinks_when_input_outpaces_service(self):
+        controller = AdaptiveK(initial=64)
+        k = controller.update(input_rate=100.0, service_rate=1.0)
+        assert k < 64
+
+    def test_unchanged_without_estimates(self):
+        controller = AdaptiveK(initial=64)
+        assert controller.update(None, 10.0) == 64
+        assert controller.update(10.0, None) == 64
+
+    def test_clamped_to_bounds(self):
+        controller = AdaptiveK(initial=8, minimum=4, maximum=16)
+        for _ in range(20):
+            controller.update(input_rate=1.0, service_rate=100.0)
+        assert controller.value == 16
+        for _ in range(20):
+            controller.update(input_rate=100.0, service_rate=1.0)
+        assert controller.value == 4
+
+    def test_convergence_behavior(self):
+        """Alternating pressure keeps K inside bounds and finite."""
+        controller = AdaptiveK(initial=64)
+        for i in range(100):
+            if i % 2:
+                controller.update(10.0, 1.0)
+            else:
+                controller.update(1.0, 10.0)
+            assert controller.minimum <= controller.value <= controller.maximum

@@ -1,0 +1,76 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.core.dataset import GroundTruth
+from repro.evaluation.recorder import ProgressRecorder
+from repro.evaluation.reporting import (
+    format_table,
+    pc_over_comparisons_table,
+    pc_over_time_table,
+    summary_table,
+)
+from repro.streaming.engine import RunResult
+
+
+def _result(name="SYS", consumed=5.0) -> RunResult:
+    recorder = ProgressRecorder(GroundTruth([(0, 1), (2, 3)]))
+    recorder.record(0, 1, time=1.0)
+    recorder.record(2, 3, time=8.0)
+    recorder.mark(10.0)
+    return RunResult(
+        system_name=name,
+        matcher_name="JS",
+        curve=recorder.curve(),
+        duplicates=frozenset({(0, 1)}),
+        comparisons_executed=2,
+        clock_end=10.0,
+        budget=10.0,
+        stream_consumed_at=consumed,
+        work_exhausted=True,
+        increments_ingested=3,
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bee"], [["x", 1], ["long", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_empty_rows(self):
+        table = format_table(["h"], [])
+        assert "h" in table
+
+
+class TestPCTables:
+    def test_pc_over_time_values(self):
+        table = pc_over_time_table({"SYS": _result()}, times=[0.5, 1.0, 9.0])
+        assert "0.000" in table
+        assert "0.500" in table
+        assert "1.000" in table
+
+    def test_consumed_marker(self):
+        table = pc_over_time_table({"SYS": _result(consumed=5.0)}, times=[4.0, 6.0])
+        lines = table.splitlines()
+        assert "x" not in lines[2]  # t=4 before consumption
+        assert "x" in lines[3]      # t=6 after consumption
+
+    def test_pc_over_comparisons(self):
+        table = pc_over_comparisons_table({"SYS": _result()}, comparison_counts=[0, 1, 2])
+        assert "0.500" in table
+        assert "1.000" in table
+
+
+class TestSummaryTable:
+    def test_contains_key_fields(self):
+        table = summary_table({"SYS": _result()})
+        assert "SYS" in table
+        assert "1.000" in table
+        assert "5.0s" in table
+
+    def test_never_consumed(self):
+        table = summary_table({"SYS": _result(consumed=None)})
+        assert "never" in table

@@ -1,0 +1,147 @@
+"""Tests for similarity functions, including hypothesis metric properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.similarity import (
+    dice,
+    jaccard,
+    levenshtein,
+    normalized_edit_similarity,
+    overlap_coefficient,
+)
+
+short_text = st.text(alphabet="abcde ", max_size=24)
+token_sets = st.frozensets(st.sampled_from(["a", "b", "c", "d", "e", "f"]), max_size=6)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0
+        assert jaccard({"a"}, set()) == 0.0
+
+    @given(token_sets, token_sets)
+    def test_bounds_and_symmetry(self, x, y):
+        value = jaccard(x, y)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(y, x)
+
+    @given(token_sets)
+    def test_self_similarity(self, x):
+        if x:
+            assert jaccard(x, x) == 1.0
+
+
+class TestDiceAndOverlap:
+    def test_dice_partial(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_overlap_subset_is_one(self):
+        assert overlap_coefficient({"a"}, {"a", "b", "c"}) == 1.0
+
+    @given(token_sets, token_sets)
+    def test_dice_dominates_jaccard(self, x, y):
+        assert dice(x, y) >= jaccard(x, y)
+
+    @given(token_sets, token_sets)
+    def test_overlap_dominates_dice(self, x, y):
+        assert overlap_coefficient(x, y) >= dice(x, y) - 1e-12
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "acb", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_bound_caps_result(self):
+        assert levenshtein("aaaa", "bbbb", max_distance=2) == 3
+
+    def test_bound_exact_when_within(self):
+        assert levenshtein("kitten", "sitting", max_distance=3) == 3
+        assert levenshtein("kitten", "sitting", max_distance=10) == 3
+
+    def test_bound_zero(self):
+        assert levenshtein("same", "same", max_distance=0) == 0
+        assert levenshtein("same", "diff", max_distance=0) == 1
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=30))
+    def test_banded_agrees_with_full(self, a, b, k):
+        full = levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=k)
+        assert banded == (full if full <= k else k + 1)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestNormalizedEditSimilarity:
+    def test_identical(self):
+        assert normalized_edit_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert normalized_edit_similarity("", "") == 0.0
+
+    def test_known_value(self):
+        # distance 3 over max length 7
+        assert normalized_edit_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+
+    def test_min_similarity_exact_above_threshold(self):
+        exact = normalized_edit_similarity("kitten", "sitting")
+        thresholded = normalized_edit_similarity("kitten", "sitting", min_similarity=0.5)
+        assert thresholded == pytest.approx(exact)
+
+    def test_min_similarity_validation(self):
+        with pytest.raises(ValueError):
+            normalized_edit_similarity("a", "b", min_similarity=1.5)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= normalized_edit_similarity(a, b) <= 1.0
+
+    @given(short_text, short_text, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_threshold_decision_is_exact(self, a, b, threshold):
+        """The banded computation must never flip a >=threshold decision."""
+        longest = max(len(a), len(b))
+        true_similarity = (1.0 - levenshtein(a, b) / longest) if longest else 0.0
+        approx = normalized_edit_similarity(a, b, min_similarity=threshold)
+        assert (approx >= threshold) == (true_similarity >= threshold)

@@ -1,0 +1,61 @@
+"""Tests for the schema-agnostic tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tokenizer import Tokenizer, default_tokenizer
+
+
+class TestTokenizer:
+    def test_lowercases(self):
+        assert set(Tokenizer().tokenize("HeLLo WoRLD")) == {"hello", "world"}
+
+    def test_splits_on_punctuation(self):
+        assert set(Tokenizer().tokenize("a.b,c-d_e(f)g")) == set()  # all length-1
+        assert set(Tokenizer().tokenize("ab.cd,ef")) == {"ab", "cd", "ef"}
+
+    def test_min_length_filters(self):
+        tokenizer = Tokenizer(min_length=4)
+        assert set(tokenizer.tokenize("one four fivess")) == {"four", "fivess"}
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=0)
+
+    def test_stopwords_removed(self):
+        assert "the" not in set(Tokenizer().tokenize("the matrix"))
+
+    def test_custom_stopwords(self):
+        tokenizer = Tokenizer(stopwords=frozenset({"matrix"}))
+        assert set(tokenizer.tokenize("the matrix")) == {"the"}
+
+    def test_numbers_kept(self):
+        assert "1999" in set(Tokenizer().tokenize("Matrix 1999"))
+
+    def test_max_tokens_cap(self):
+        tokenizer = Tokenizer(max_tokens_per_value=2)
+        assert len(list(tokenizer.tokenize("aa bb cc dd"))) == 2
+
+    def test_tokenize_profile_unions(self):
+        tokens = Tokenizer().tokenize_profile(["alpha beta", "beta gamma"])
+        assert tokens == {"alpha", "beta", "gamma"}
+
+    def test_empty_value(self):
+        assert list(Tokenizer().tokenize("")) == []
+
+    def test_default_tokenizer_is_singleton(self):
+        assert default_tokenizer() is default_tokenizer()
+
+    @given(st.text(max_size=200))
+    def test_tokens_always_lowercase_alphanumeric(self, value):
+        for token in Tokenizer().tokenize(value):
+            assert token == token.lower()
+            assert token.isalnum()
+            assert len(token) >= 2
+
+    @given(st.text(max_size=100))
+    def test_tokenization_is_deterministic(self, value):
+        assert list(Tokenizer().tokenize(value)) == list(Tokenizer().tokenize(value))

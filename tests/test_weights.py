@@ -1,0 +1,95 @@
+"""Tests for meta-blocking weighting schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.blocks import BlockCollection
+from repro.metablocking.weights import (
+    ARCSScheme,
+    CommonBlocksScheme,
+    EnhancedCommonBlocksScheme,
+    JaccardScheme,
+    make_scheme,
+)
+
+from tests.conftest import make_profile
+
+
+@pytest.fixture
+def collection() -> BlockCollection:
+    collection = BlockCollection(max_block_size=None)
+    collection.add_profile(make_profile(0, "alpha beta gamma"))
+    collection.add_profile(make_profile(1, "alpha beta delta"))
+    collection.add_profile(make_profile(2, "alpha zeta"))
+    collection.add_profile(make_profile(3, "omega"))
+    return collection
+
+
+class TestCBS:
+    def test_counts_common_blocks(self, collection):
+        assert CommonBlocksScheme().weight(collection, 0, 1) == 2.0
+        assert CommonBlocksScheme().weight(collection, 0, 2) == 1.0
+        assert CommonBlocksScheme().weight(collection, 0, 3) == 0.0
+
+    def test_symmetry(self, collection):
+        scheme = CommonBlocksScheme()
+        assert scheme.weight(collection, 0, 1) == scheme.weight(collection, 1, 0)
+
+
+class TestECBS:
+    def test_zero_for_no_common_blocks(self, collection):
+        assert EnhancedCommonBlocksScheme().weight(collection, 0, 3) == 0.0
+
+    def test_rarity_boost(self, collection):
+        """Profiles in fewer blocks give stronger evidence per common block."""
+        scheme = EnhancedCommonBlocksScheme()
+        # pairs (0,2) and (1,2) share exactly one block each with p2;
+        # p0 and p1 sit in the same number of blocks, so weights tie
+        assert scheme.weight(collection, 0, 2) == pytest.approx(
+            scheme.weight(collection, 1, 2)
+        )
+        # but an entity in fewer blocks (p3 vs p0) would weigh more per block
+        collection.add_profile(make_profile(4, "omega"))
+        weight_rare = scheme.weight(collection, 3, 4)  # both in 1 block
+        collection.add_profile(make_profile(5, "alpha beta gamma delta zeta omega"))
+        weight_busy = scheme.weight(collection, 3, 5)  # p5 in many blocks
+        assert weight_rare > weight_busy
+
+    def test_positive_when_common(self, collection):
+        assert EnhancedCommonBlocksScheme().weight(collection, 0, 1) > 0
+
+
+class TestJaccardScheme:
+    def test_value(self, collection):
+        # B(0)={alpha,beta,gamma}, B(1)={alpha,beta,delta} → 2/4
+        assert JaccardScheme().weight(collection, 0, 1) == pytest.approx(0.5)
+
+    def test_bounds(self, collection):
+        for x in range(4):
+            for y in range(x + 1, 4):
+                assert 0.0 <= JaccardScheme().weight(collection, x, y) <= 1.0
+
+
+class TestARCS:
+    def test_small_blocks_weigh_more(self, collection):
+        scheme = ARCSScheme()
+        # 'gamma' block has 1 member → no comparisons; 'alpha' has 3
+        weight_alpha_pair = scheme.weight(collection, 0, 2)
+        assert weight_alpha_pair > 0
+        # pair sharing the rarer 'beta' block (2 members) outweighs 'alpha'-only
+        weight_beta_pair = scheme.weight(collection, 0, 1)
+        assert weight_beta_pair > weight_alpha_pair
+
+    def test_zero_when_disjoint(self, collection):
+        assert ARCSScheme().weight(collection, 0, 3) == 0.0
+
+
+class TestMakeScheme:
+    @pytest.mark.parametrize("name", ["cbs", "CBS", "ecbs", "js", "arcs"])
+    def test_known_names(self, name):
+        assert make_scheme(name).name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheme("nope")
