@@ -43,6 +43,7 @@ from repro.evaluation import (
 )
 from repro.incremental import IBaseSystem
 from repro.matching import EditDistanceMatcher, JaccardMatcher, Matcher
+from repro.observability import MetricsRegistry
 from repro.pier import IPBS, IPCS, IPES, PierSystem
 from repro.progressive import BatchERSystem, PBSSystem, PPSSystem
 from repro.streaming import RunResult, StreamingEngine
@@ -65,6 +66,7 @@ __all__ = [
     "Increment",
     "JaccardMatcher",
     "Matcher",
+    "MetricsRegistry",
     "PBSSystem",
     "PPSSystem",
     "PierSystem",

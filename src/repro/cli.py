@@ -15,6 +15,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -59,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_arguments(run_parser)
     run_parser.add_argument("--json", metavar="PATH", help="write the run result as JSON")
     run_parser.add_argument("--csv", metavar="PATH", help="write the PC curve as CSV")
+    run_parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the observability snapshot (counters, phase timers, "
+             "per-round gauges) as JSON",
+    )
 
     compare_parser = subparsers.add_parser("compare", help="compare algorithms on one stream")
     compare_parser.add_argument(
@@ -117,6 +123,11 @@ def _command_run(args) -> int:
     if args.csv:
         write_curve_csv(result, args.csv)
         print(f"wrote {args.csv}")
+    if args.metrics:
+        snapshot = result.details.get("metrics", {})
+        with open(args.metrics, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+        print(f"wrote {args.metrics}")
     return 0
 
 

@@ -31,8 +31,13 @@ def run_result_to_dict(result: RunResult) -> dict:
           "increments_ingested": int,
           "duplicates": [[pid, pid], ...],
           "curve": [{"time": float, "comparisons": int, "matches": int}, ...],
-          "total_matches": int
+          "total_matches": int,
+          "details": {..., "metrics": {<observability snapshot>}}
         }
+
+    ``details`` carries the system's ``describe()`` metadata plus, for runs
+    driven by the streaming engines, the observability snapshot documented
+    in ``docs/observability.md``.
     """
     return {
         "system": result.system_name,
@@ -50,6 +55,7 @@ def run_result_to_dict(result: RunResult) -> dict:
             for point in result.curve.points
         ],
         "total_matches": result.curve.total_matches,
+        "details": result.details,
     }
 
 

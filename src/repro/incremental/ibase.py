@@ -79,14 +79,17 @@ class IBaseSystem(ERSystem):
                 self.blocker.collection, profile, self._valid_partner(profile)
             )
             cost += operations * self.costs.per_weight
+            self.metrics.count("strategy.weighting_ops", operations)
             # Within a profile, higher-weighted comparisons go first (the
             # order I-WNP produced); across profiles/increments it is FIFO.
             for weighted in sorted(kept, key=lambda c: -c.weight):
                 pair = weighted.pair
                 if pair in self._executed:
+                    self.metrics.count("strategy.skipped_already_executed")
                     continue
                 self._executed.add(pair)
                 self._fifo.append(pair)
+                self.metrics.count("strategy.comparisons_enqueued")
                 cost += self.costs.per_enqueue
         return cost
 
@@ -101,6 +104,9 @@ class IBaseSystem(ERSystem):
 
     def has_pending_comparisons(self) -> bool:
         return bool(self._fifo)
+
+    def gauges(self) -> dict[str, float]:
+        return {"queue_depth": len(self._fifo)}
 
     def profile(self, pid: int) -> EntityProfile:
         return self.blocker.profile(pid)

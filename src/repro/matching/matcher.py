@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.profile import EntityProfile
 from repro.matching.similarity import jaccard, normalized_edit_similarity
+from repro.observability.metrics import MetricsRegistry
 
 __all__ = ["CostModel", "Matcher", "JaccardMatcher", "EditDistanceMatcher", "MatchResult"]
 
@@ -60,6 +61,7 @@ class Matcher:
         self.comparisons_executed = 0
         self.matches_found = 0
         self.total_cost = 0.0
+        self._metrics: MetricsRegistry | None = None
 
     # -- hooks ----------------------------------------------------------
     def similarity(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
@@ -78,11 +80,20 @@ class Matcher:
         self.total_cost += cost
         if is_match:
             self.matches_found += 1
+        if self._metrics is not None:
+            self._metrics.count("matcher.evaluations")
+            self._metrics.count("matcher.virtual_cost_s", cost)
+            if is_match:
+                self._metrics.count("matcher.matches")
         return MatchResult(is_match=is_match, similarity=similarity, cost=cost)
 
     def estimate_cost(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         """Cost of a comparison without executing it (used by schedulers)."""
         return self.cost_model.charge(self.work_units(profile_x, profile_y))
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach the engine's per-run registry; evaluation counters go there."""
+        self._metrics = registry
 
     def reset_stats(self) -> None:
         self.comparisons_executed = 0

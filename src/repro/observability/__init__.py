@@ -1,0 +1,14 @@
+"""Pipeline observability: counters, phase timers, per-round gauges.
+
+See ``docs/observability.md`` for the metric catalogue and the snapshot
+JSON schema.
+"""
+
+from repro.observability.metrics import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    PhaseTotals,
+    RoundLog,
+)
+
+__all__ = ["SCHEMA_VERSION", "MetricsRegistry", "PhaseTotals", "RoundLog"]

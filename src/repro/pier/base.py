@@ -179,6 +179,10 @@ class IncrPrioritization:
         """Retrieve and remove the best comparison, or ``None`` if empty."""
         raise NotImplementedError
 
+    def gauges(self) -> dict[str, float]:
+        """Strategy-specific gauge readings for the per-round metrics log."""
+        return {}
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -244,14 +248,20 @@ class PierSystem(ERSystem):
     def emit(self, stats: PipelineStats) -> EmitResult:
         budget = self._find_k(stats)
         batch: list[tuple[int, int]] = []
+        stale = 0
         while len(batch) < budget:
             pair = self.strategy.dequeue()
             if pair is None:
                 break
             if pair in self._executed:
+                stale += 1
                 continue
             self._executed.add(pair)
             batch.append(pair)
+        if batch:
+            self.metrics.count("pier.comparisons_emitted", len(batch))
+        if stale:
+            self.metrics.count("pier.dequeued_already_executed", stale)
         cost = self.costs.per_round + self.costs.per_enqueue * len(batch)
         return EmitResult(batch=tuple(batch), cost=cost)
 
@@ -267,6 +277,13 @@ class PierSystem(ERSystem):
 
     def has_pending_comparisons(self) -> bool:
         return len(self.strategy) > 0
+
+    def gauges(self) -> dict[str, float]:
+        return {
+            "k": self.adaptive_k.value,
+            "queue_depth": len(self.strategy),
+            **self.strategy.gauges(),
+        }
 
     # ------------------------------------------------------------------
     # Internals shared with strategies

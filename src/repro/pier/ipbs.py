@@ -130,9 +130,11 @@ class IPBS(IncrPrioritization):
         """Generate the pending comparisons of a block into the queue."""
         costs = system.costs
         collection = system.collection
+        metrics = system.metrics
         pending = self.profile_index.get(key, set())
         block_size = len(block)
         cost = costs.per_block_open
+        metrics.count("strategy.blocks_processed")
         for pid_x in pending:
             profile_x = system.profile(pid_x)
             if collection.clean_clean:
@@ -144,12 +146,15 @@ class IPBS(IncrPrioritization):
                     continue
                 pair = canonical_pair(pid_x, pid_y)
                 if self.comparison_filter.contains(*pair):
+                    metrics.count("strategy.bloom_filtered")
                     continue
                 self.comparison_filter.add(*pair)
                 if system.was_executed(*pair):
+                    metrics.count("strategy.skipped_already_executed")
                     continue
                 weight = self.scheme.weight(collection, *pair)
                 self.index.enqueue(pair, (-block_size, weight))
+                metrics.count("strategy.comparisons_enqueued")
                 cost += costs.per_weight + costs.per_enqueue
         self._reset_block(key)
         return cost
@@ -164,6 +169,13 @@ class IPBS(IncrPrioritization):
         if not self.index:
             return None
         return self.index.dequeue()
+
+    def gauges(self) -> dict[str, float]:
+        return {
+            "bloom_slices": self.comparison_filter.num_slices,
+            "bloom_items": self.comparison_filter.count,
+            "pending_blocks": len(self.cardinality_index),
+        }
 
     def __len__(self) -> int:
         return len(self.index)

@@ -47,31 +47,39 @@ class IPCS(IncrPrioritization):
     # ------------------------------------------------------------------
     def ingest_profiles(self, system: PierSystem, profiles: Iterable[EntityProfile]) -> float:
         costs = system.costs
+        metrics = system.metrics
         cost = 0.0
         for profile in profiles:
             kept, operations = self.generator.generate(
                 system.collection, profile, system.valid_partner(profile)
             )
             cost += operations * costs.per_weight
+            metrics.count("strategy.weighting_ops", operations)
             for weighted in kept:
                 if system.was_executed(weighted.left, weighted.right):
+                    metrics.count("strategy.skipped_already_executed")
                     continue
                 self.index.enqueue(weighted.pair, weighted.weight)
+                metrics.count("strategy.comparisons_enqueued")
                 cost += costs.per_enqueue
         return cost
 
     def on_empty_increment(self, system: PierSystem) -> float:
         # Alg. 2, lines 10-11: only refill when the index has run dry; keep
         # draining blocks until the index holds fresh work or nothing is left.
+        metrics = system.metrics
         cost = system.costs.per_round
         while not len(self.index):
             result = self.refill.next_batch(system.collection, system.was_executed)
             if result is None:
                 break
             batch, operations = result
+            metrics.count("strategy.refill_batches")
+            metrics.count("strategy.weighting_ops", operations)
             cost += operations * system.costs.per_weight
             for weighted in batch:
                 self.index.enqueue(weighted.pair, weighted.weight)
+                metrics.count("strategy.comparisons_enqueued")
                 cost += system.costs.per_enqueue
         return cost
 

@@ -72,34 +72,44 @@ class IPES(IncrPrioritization):
     # ------------------------------------------------------------------
     def ingest_profiles(self, system: PierSystem, profiles: Iterable[EntityProfile]) -> float:
         costs = system.costs
+        metrics = system.metrics
         cost = 0.0
         for profile in profiles:
             kept, operations = self.generator.generate(
                 system.collection, profile, system.valid_partner(profile)
             )
             cost += operations * costs.per_weight
+            metrics.count("strategy.weighting_ops", operations)
             for weighted in kept:
                 if system.was_executed(weighted.left, weighted.right):
+                    metrics.count("strategy.skipped_already_executed")
                     continue
-                self._insert_weighted(weighted)
+                metrics.count(f"strategy.inserted_{self._insert_weighted(weighted)}")
                 cost += costs.per_enqueue
         return cost
 
     def on_empty_increment(self, system: PierSystem) -> float:
+        metrics = system.metrics
         cost = system.costs.per_round
         while not len(self):
             result = self.refill.next_batch(system.collection, system.was_executed)
             if result is None:
                 break
             batch, operations = result
+            metrics.count("strategy.refill_batches")
+            metrics.count("strategy.weighting_ops", operations)
             cost += operations * system.costs.per_weight
             for weighted in batch:
-                self._insert_weighted(weighted)
+                metrics.count(f"strategy.inserted_{self._insert_weighted(weighted)}")
                 cost += system.costs.per_enqueue
         return cost
 
-    def _insert_weighted(self, weighted: WeightedComparison) -> None:
-        """Lines 1-14 of Algorithm 4 for a single weighted comparison."""
+    def _insert_weighted(self, weighted: WeightedComparison) -> str:
+        """Lines 1-14 of Algorithm 4 for a single weighted comparison.
+
+        Returns where the comparison ended up (``entity`` / ``balanced`` /
+        ``pruned`` / ``overflow``) so callers can count dispositions.
+        """
         weight = weighted.weight
         self.total_weight += weight
         self.count += 1
@@ -108,27 +118,28 @@ class IPES(IncrPrioritization):
         if self._top_weight(pid_x) < weight:
             self._entity_enqueue(pid_x, weighted)
             self.entity_queue.enqueue(pid_x, weight)
-            return
+            return "entity"
         if self._top_weight(pid_y) < weight:
             self._entity_enqueue(pid_y, weighted)
             self.entity_queue.enqueue(pid_y, weight)
-            return
+            return "entity"
         if weight > self.total_weight / self.count:
             queue_x = self.entity_pq.get(pid_x)
             queue_y = self.entity_pq.get(pid_y)
             size_x = len(queue_x) if queue_x else 0
             size_y = len(queue_y) if queue_y else 0
             owner = pid_x if size_x <= size_y else pid_y
-            self._insert_if_above_entity_average(weighted, owner)
-            return
+            return self._insert_if_above_entity_average(weighted, owner)
         self.overflow.enqueue(weighted.pair, weight)
+        return "overflow"
 
-    def _insert_if_above_entity_average(self, weighted: WeightedComparison, owner: int) -> None:
+    def _insert_if_above_entity_average(self, weighted: WeightedComparison, owner: int) -> str:
         """The ``insert()`` function: admit only above the entity average."""
         total, count = self._entity_totals.get(owner, (0.0, 0))
         if count and weighted.weight <= total / count:
-            return
+            return "pruned"
         self._entity_enqueue(owner, weighted)
+        return "balanced"
 
     def _entity_enqueue(self, owner: int, weighted: WeightedComparison) -> None:
         queue = self.entity_pq.get(owner)
@@ -178,6 +189,12 @@ class IPES(IncrPrioritization):
                 self.entity_queue.enqueue(entity, queue.peek_key())
 
     # ------------------------------------------------------------------
+    def gauges(self) -> dict[str, float]:
+        return {
+            "entity_queues": len(self.entity_pq),
+            "overflow_depth": len(self.overflow),
+        }
+
     def __len__(self) -> int:
         return self._entity_items + len(self.overflow)
 

@@ -122,8 +122,12 @@ class AdaptiveK:
             return self.k
         if input_rate < service_rate:
             adjusted = self.k * self.growth
-        else:
+        elif input_rate > service_rate:
             adjusted = self.k * self.shrink
+        else:
+            # A perfectly balanced stream is already at the right K; shrinking
+            # here would ratchet K down to the minimum for no reason.
+            return self.k
         self.k = int(min(self.maximum, max(self.minimum, round(adjusted))))
         return self.k
 

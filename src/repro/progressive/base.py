@@ -100,11 +100,14 @@ class BatchProgressiveSystem(ERSystem):
             if remaining is not None and owed > remaining:
                 # (Re)initialization cannot finish within the budget: charge
                 # the rest of the budget and skip the pointless work.
+                self.metrics.count("batch.initializations_over_budget")
                 return EmitResult(batch=(), cost=owed)
             cost = max(self._initialize(), owed)
             self._pending_init_cost = 0.0
             self._dirty = False
             self.initializations += 1
+            self.metrics.count("batch.initializations")
+            self.metrics.count("batch.initialization_cost_s", cost)
             return EmitResult(batch=(), cost=cost)
         pairs, cost = self._next_pairs(self.chunk_size)
         fresh: list[tuple[int, int]] = []
@@ -143,6 +146,12 @@ class BatchProgressiveSystem(ERSystem):
 
     def was_executed(self, pid_x: int, pid_y: int) -> bool:
         return canonical_pair(pid_x, pid_y) in self._executed
+
+    def gauges(self) -> dict[str, float]:
+        return {
+            "initializations": self.initializations,
+            "profiles_indexed": len(self._profiles),
+        }
 
     def describe(self) -> dict[str, object]:
         return {

@@ -18,16 +18,30 @@ Loop structure per iteration:
 3. if the system emitted nothing: let it manufacture idle work (the paper's
    "empty increment" trigger), or fast-forward to the next arrival, or stop
    when both the stream and the system are exhausted.
+
+Budget semantics: the budget is a hard deadline on the virtual clock.  A
+comparison whose (deterministic) cost would push the clock past the budget
+is *not* executed and *not* credited to the progress curve — the engine
+charges the remaining time as cut-off work and stops, so no point of the
+reported curve ever lies beyond the budget.
+
+Every run is instrumented through a fresh
+:class:`~repro.observability.metrics.MetricsRegistry` (bound to the system
+and the matcher): named counters, per-phase virtual/wall timers and a
+bounded per-round gauge log, exported as ``details["metrics"]`` on the
+:class:`RunResult`.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.core.dataset import GroundTruth
 from repro.core.increments import StreamPlan
 from repro.evaluation.recorder import ProgressCurve, ProgressRecorder
 from repro.matching.matcher import Matcher
+from repro.observability.metrics import MetricsRegistry
 from repro.priority.rates import RateEstimator
 from repro.streaming.system import ERSystem, PipelineStats
 
@@ -83,6 +97,9 @@ class StreamingEngine:
         """Simulate ``system`` over ``plan`` and return its progress curve."""
         matcher = self.matcher
         matcher.reset_stats()
+        metrics = MetricsRegistry()
+        system.bind_metrics(metrics)
+        matcher.bind_metrics(metrics)
         recorder = ProgressRecorder(ground_truth, sample_every=self.sample_every)
         arrival_estimator = RateEstimator()
         duplicates: set[tuple[int, int]] = set()
@@ -94,40 +111,73 @@ class StreamingEngine:
         clock = arrival_times[0] if n_arrivals else 0.0
         consumed_at: float | None = None if n_arrivals else 0.0
         work_exhausted = False
+        rounds = 0
 
         while clock < self.budget:
             # -- 1. ingest all due increments ---------------------------
             ingested_now = False
-            while (
-                next_arrival < n_arrivals
-                and arrival_times[next_arrival] <= clock
-                and system.ready_for_ingest()
-            ):
-                arrival_estimator.record(arrival_times[next_arrival])
-                clock += system.ingest(increments[next_arrival])
-                next_arrival += 1
-                ingested_now = True
-                if next_arrival == n_arrivals:
-                    consumed_at = clock
-                if clock >= self.budget:
-                    break
+            with metrics.time_phase("ingest") as ingest_timer:
+                while (
+                    next_arrival < n_arrivals
+                    and arrival_times[next_arrival] <= clock
+                    and system.ready_for_ingest()
+                ):
+                    arrival_estimator.record(arrival_times[next_arrival])
+                    cost = system.ingest(increments[next_arrival])
+                    clock += cost
+                    ingest_timer.virtual += cost
+                    metrics.count("engine.increments_ingested")
+                    next_arrival += 1
+                    ingested_now = True
+                    if next_arrival == n_arrivals:
+                        consumed_at = clock
+                    if clock >= self.budget:
+                        break
             if clock >= self.budget:
                 break
 
             # -- 2. one emission round ----------------------------------
-            stats = self._stats(clock, arrival_estimator)
-            emit = system.emit(stats)
-            clock += emit.cost
+            stats = self._stats(clock, arrival_estimator, self._backlog(plan, next_arrival, clock))
+            with metrics.time_phase("emit") as emit_timer:
+                emit = system.emit(stats)
+                clock += emit.cost
+                emit_timer.virtual += emit.cost
+            rounds += 1
+            metrics.count("engine.emission_rounds")
+            executed_before = recorder.comparisons_executed
             if emit.batch:
-                for pid_x, pid_y in emit.batch:
-                    result = matcher.evaluate(system.profile(pid_x), system.profile(pid_y))
-                    clock += result.cost
-                    recorder.record(pid_x, pid_y, clock)
-                    if result.is_match:
-                        duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-                    if clock >= self.budget:
-                        break
+                with metrics.time_phase("match") as match_timer:
+                    for position, (pid_x, pid_y) in enumerate(emit.batch):
+                        profile_x = system.profile(pid_x)
+                        profile_y = system.profile(pid_y)
+                        cost = matcher.estimate_cost(profile_x, profile_y)
+                        if clock + cost > self.budget:
+                            # The comparison cannot finish by the deadline:
+                            # charge the cut-off time, credit nothing.
+                            metrics.count(
+                                "engine.comparisons_cut_by_deadline",
+                                len(emit.batch) - position,
+                            )
+                            match_timer.virtual += self.budget - clock
+                            clock = self.budget
+                            break
+                        result = matcher.evaluate(profile_x, profile_y)
+                        clock += result.cost
+                        match_timer.virtual += result.cost
+                        metrics.count("engine.comparisons_executed")
+                        if recorder.record(pid_x, pid_y, clock):
+                            metrics.count("engine.matches_recorded")
+                        if result.is_match:
+                            duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
+                        if clock >= self.budget:
+                            break
+                self._record_round(
+                    metrics, system, stats, rounds, clock,
+                    emitted=len(emit.batch),
+                    executed=recorder.comparisons_executed - executed_before,
+                )
                 continue
+            self._record_round(metrics, system, stats, rounds, clock, emitted=0, executed=0)
             if ingested_now or clock >= self.budget:
                 continue
 
@@ -135,24 +185,42 @@ class StreamingEngine:
             if next_arrival < n_arrivals and arrival_times[next_arrival] <= clock:
                 # Back-pressure refused ingestion but there is no work
                 # either: force-feed one increment to avoid a livelock.
-                arrival_estimator.record(arrival_times[next_arrival])
-                clock += system.ingest(increments[next_arrival])
-                next_arrival += 1
-                if next_arrival == n_arrivals:
-                    consumed_at = clock
+                with metrics.time_phase("ingest") as ingest_timer:
+                    arrival_estimator.record(arrival_times[next_arrival])
+                    cost = system.ingest(increments[next_arrival])
+                    clock += cost
+                    ingest_timer.virtual += cost
+                    metrics.count("engine.increments_ingested")
+                    metrics.count("engine.forced_ingests")
+                    next_arrival += 1
+                    if next_arrival == n_arrivals:
+                        consumed_at = clock
                 continue
-            idle_cost = system.on_idle(self._stats(clock, arrival_estimator))
+            with metrics.time_phase("idle") as idle_timer:
+                idle_cost = system.on_idle(
+                    self._stats(clock, arrival_estimator, self._backlog(plan, next_arrival, clock))
+                )
+                if idle_cost is not None:
+                    clock += idle_cost
+                    idle_timer.virtual += idle_cost
             if idle_cost is not None:
-                clock += idle_cost
+                metrics.count("engine.idle_rounds")
                 continue
             if next_arrival < n_arrivals:
+                gap = arrival_times[next_arrival] - clock
                 clock = arrival_times[next_arrival]  # sleep until next arrival
+                metrics.count("engine.fast_forwards")
+                metrics.phase("sleep").add(gap)
                 continue
             work_exhausted = True
             break
 
         final_clock = min(clock, self.budget) if not work_exhausted else clock
         recorder.mark(final_clock)
+        metrics.gauge("engine.clock_end", final_clock)
+        metrics.gauge("engine.budget", self.budget)
+        details = dict(system.describe())
+        details["metrics"] = metrics.snapshot()
         return RunResult(
             system_name=system.name,
             matcher_name=matcher.name,
@@ -165,16 +233,44 @@ class StreamingEngine:
             work_exhausted=work_exhausted,
             increments_ingested=next_arrival,
             match_events=recorder.match_events(),
-            details=system.describe(),
+            details=details,
         )
 
     # ------------------------------------------------------------------
-    def _stats(self, clock: float, arrival_estimator: RateEstimator) -> PipelineStats:
+    @staticmethod
+    def _backlog(plan: StreamPlan, next_arrival: int, clock: float) -> int:
+        """Increments that have arrived by ``clock`` but are not yet ingested."""
+        due = bisect.bisect_right(plan.arrival_times, clock, next_arrival)
+        return due - next_arrival
+
+    @staticmethod
+    def _record_round(
+        metrics: MetricsRegistry,
+        system: ERSystem,
+        stats: PipelineStats,
+        round_index: int,
+        clock: float,
+        emitted: int,
+        executed: int,
+    ) -> None:
+        metrics.record_round(
+            round=round_index,
+            clock=clock,
+            backlog=stats.backlog,
+            input_rate=stats.input_rate,
+            emitted=emitted,
+            executed=executed,
+            **system.gauges(),
+        )
+
+    def _stats(
+        self, clock: float, arrival_estimator: RateEstimator, backlog: int
+    ) -> PipelineStats:
         mean_cost = self.matcher.mean_cost or self.match_cost_prior
         return PipelineStats(
             now=clock,
             input_rate=arrival_estimator.rate_at(clock),
             mean_match_cost=mean_cost,
-            backlog=0,
+            backlog=backlog,
             remaining_budget=self.budget - clock,
         )

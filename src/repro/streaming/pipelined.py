@@ -27,12 +27,15 @@ because ingestion no longer waits for the matcher.
 
 from __future__ import annotations
 
+import bisect
+
 from repro.core.dataset import GroundTruth
 from repro.core.increments import StreamPlan
 from repro.evaluation.recorder import ProgressRecorder
 from repro.matching.matcher import Matcher
+from repro.observability.metrics import MetricsRegistry
 from repro.priority.rates import RateEstimator
-from repro.streaming.engine import RunResult
+from repro.streaming.engine import RunResult, StreamingEngine
 from repro.streaming.system import ERSystem, PipelineStats
 
 __all__ = ["PipelinedStreamingEngine"]
@@ -64,6 +67,9 @@ class PipelinedStreamingEngine:
     ) -> RunResult:
         matcher = self.matcher
         matcher.reset_stats()
+        metrics = MetricsRegistry()
+        system.bind_metrics(metrics)
+        matcher.bind_metrics(metrics)
         recorder = ProgressRecorder(ground_truth, sample_every=self.sample_every)
         arrival_estimator = RateEstimator()
         duplicates: set[tuple[int, int]] = set()
@@ -76,16 +82,26 @@ class PipelinedStreamingEngine:
         match_clock = ingest_clock
         consumed_at: float | None = None if n_arrivals else 0.0
         work_exhausted = False
+        rounds = 0
 
-        def ingest_next() -> None:
+        def ingest_next(forced: bool = False) -> None:
             nonlocal ingest_clock, next_arrival, consumed_at
-            start = max(arrival_times[next_arrival], ingest_clock)
-            arrival_estimator.record(arrival_times[next_arrival])
-            cost = system.ingest(increments[next_arrival])
-            ingest_clock = start + cost
+            with metrics.time_phase("ingest") as timer:
+                start = max(arrival_times[next_arrival], ingest_clock)
+                arrival_estimator.record(arrival_times[next_arrival])
+                cost = system.ingest(increments[next_arrival])
+                ingest_clock = start + cost
+                timer.virtual += cost
+            metrics.count("engine.increments_ingested")
+            if forced:
+                metrics.count("engine.forced_ingests")
             next_arrival += 1
             if next_arrival == n_arrivals:
                 consumed_at = ingest_clock
+
+        def backlog() -> int:
+            due = bisect.bisect_right(arrival_times, match_clock, next_arrival)
+            return due - next_arrival
 
         while match_clock < self.budget:
             # -- 1. catch the ingest stage up to the match clock ---------
@@ -99,20 +115,47 @@ class PipelinedStreamingEngine:
 
             # -- 2. one emission round on the match clock ----------------
             if system.has_pending_comparisons():
-                stats = self._stats(match_clock, arrival_estimator)
-                emit = system.emit(stats)
-                match_clock += emit.cost
-                progressed = False
-                for pid_x, pid_y in emit.batch:
-                    result = matcher.evaluate(system.profile(pid_x), system.profile(pid_y))
-                    match_clock += result.cost
-                    recorder.record(pid_x, pid_y, match_clock)
-                    progressed = True
-                    if result.is_match:
-                        duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-                    if match_clock >= self.budget:
-                        break
-                if progressed or emit.cost > 0:
+                stats = self._stats(match_clock, arrival_estimator, backlog())
+                with metrics.time_phase("emit") as emit_timer:
+                    emit = system.emit(stats)
+                    match_clock += emit.cost
+                    emit_timer.virtual += emit.cost
+                rounds += 1
+                metrics.count("engine.emission_rounds")
+                executed_before = recorder.comparisons_executed
+                deadline_cut = False
+                with metrics.time_phase("match") as match_timer:
+                    for position, (pid_x, pid_y) in enumerate(emit.batch):
+                        profile_x = system.profile(pid_x)
+                        profile_y = system.profile(pid_y)
+                        cost = matcher.estimate_cost(profile_x, profile_y)
+                        if match_clock + cost > self.budget:
+                            # Cannot finish by the deadline: charge the
+                            # cut-off time, credit nothing.
+                            metrics.count(
+                                "engine.comparisons_cut_by_deadline",
+                                len(emit.batch) - position,
+                            )
+                            match_timer.virtual += self.budget - match_clock
+                            match_clock = self.budget
+                            deadline_cut = True
+                            break
+                        result = matcher.evaluate(profile_x, profile_y)
+                        match_clock += result.cost
+                        match_timer.virtual += result.cost
+                        metrics.count("engine.comparisons_executed")
+                        if recorder.record(pid_x, pid_y, match_clock):
+                            metrics.count("engine.matches_recorded")
+                        if result.is_match:
+                            duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
+                        if match_clock >= self.budget:
+                            break
+                executed = recorder.comparisons_executed - executed_before
+                StreamingEngine._record_round(
+                    metrics, system, stats, rounds, match_clock,
+                    emitted=len(emit.batch), executed=executed,
+                )
+                if executed or deadline_cut or emit.cost > 0:
                     continue
 
             # -- 3. match stage starved: advance towards more input ------
@@ -125,18 +168,29 @@ class PipelinedStreamingEngine:
                     continue
                 # Back-pressured with no pending comparisons: force one
                 # increment through to avoid a livelock.
-                ingest_next()
+                ingest_next(forced=True)
                 match_clock = max(match_clock, ingest_clock)
                 continue
-            idle_cost = system.on_idle(self._stats(match_clock, arrival_estimator))
+            with metrics.time_phase("idle") as idle_timer:
+                idle_cost = system.on_idle(
+                    self._stats(match_clock, arrival_estimator, backlog())
+                )
+                if idle_cost is not None:
+                    match_clock += idle_cost
+                    idle_timer.virtual += idle_cost
             if idle_cost is not None:
-                match_clock += idle_cost
+                metrics.count("engine.idle_rounds")
                 continue
             work_exhausted = True
             break
 
         final_clock = min(match_clock, self.budget) if not work_exhausted else match_clock
         recorder.mark(final_clock)
+        metrics.gauge("engine.clock_end", final_clock)
+        metrics.gauge("engine.budget", self.budget)
+        metrics.gauge("engine.ingest_clock_end", ingest_clock)
+        details = dict(system.describe())
+        details["metrics"] = metrics.snapshot()
         return RunResult(
             system_name=system.name,
             matcher_name=matcher.name,
@@ -149,16 +203,18 @@ class PipelinedStreamingEngine:
             work_exhausted=work_exhausted,
             increments_ingested=next_arrival,
             match_events=recorder.match_events(),
-            details=system.describe(),
+            details=details,
         )
 
     # ------------------------------------------------------------------
-    def _stats(self, clock: float, arrival_estimator: RateEstimator) -> PipelineStats:
+    def _stats(
+        self, clock: float, arrival_estimator: RateEstimator, backlog: int
+    ) -> PipelineStats:
         mean_cost = self.matcher.mean_cost or self.match_cost_prior
         return PipelineStats(
             now=clock,
             input_rate=arrival_estimator.rate_at(clock),
             mean_match_cost=mean_cost,
-            backlog=0,
+            backlog=backlog,
             remaining_budget=self.budget - clock,
         )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
+from repro.observability.metrics import MetricsRegistry
 
 __all__ = ["PipelineCosts", "PipelineStats", "EmitResult", "ERSystem"]
 
@@ -45,7 +46,7 @@ class PipelineStats:
     now: float
     input_rate: float | None        # increments per virtual second (EMA)
     mean_match_cost: float          # virtual seconds per executed comparison
-    backlog: int                    # comparisons awaiting execution
+    backlog: int                    # increments arrived but not yet ingested
     remaining_budget: float | None = None  # virtual seconds left in this run
 
 
@@ -70,6 +71,27 @@ class ERSystem:
     """
 
     name: str = "er-system"
+    _metrics: MetricsRegistry | None = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry (a private one until an engine binds its own)."""
+        if self._metrics is None:
+            self._metrics = MetricsRegistry()
+        return self._metrics
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach the engine's per-run registry; called at the start of a run."""
+        self._metrics = registry
+
+    def gauges(self) -> dict[str, float]:
+        """Current gauge readings sampled into the per-round log.
+
+        Subclasses report whatever describes their internal pressure — the
+        adaptive ``K``, queue depths, bloom filter growth.  Keys should be
+        flat dotted names; values must be plain numbers.
+        """
+        return {}
 
     def ingest(self, increment: Increment) -> float:
         """Consume a data increment; return the virtual cost of doing so."""

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -96,3 +101,45 @@ class TestExactComparisonFilter:
         assert (1, 2) in exact
         assert (2, 3) not in exact
         assert exact.count == 1
+
+
+_HASHSEED_SCRIPT = """
+from repro.priority.bloom import ScalableBloomFilter
+
+bloom = ScalableBloomFilter(initial_capacity=64)
+for i in range(500):
+    bloom.add((i * 31) % 1000, (i * 17) % 997)
+bits = "".join(
+    "1" if bloom.contains(i, i + 1) else "0" for i in range(2000)
+)
+print(bits)
+print(bloom.num_slices)
+"""
+
+
+class TestHashSeedIndependence:
+    """I-PBS dedup correctness requires bloom membership to be identical
+    across interpreter runs, whatever ``PYTHONHASHSEED`` says."""
+
+    @staticmethod
+    def _membership_under_seed(seed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        src_dir = str(Path(__file__).resolve().parent.parent / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return proc.stdout
+
+    def test_membership_identical_across_hash_seeds(self):
+        out_a = self._membership_under_seed("0")
+        out_b = self._membership_under_seed("12345")
+        assert out_a == out_b
+        bits = out_a.splitlines()[0]
+        assert len(bits) == 2000 and "1" in bits  # the probe saw real data

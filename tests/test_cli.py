@@ -64,6 +64,19 @@ class TestCommands:
         header = csv_path.read_text().splitlines()[0]
         assert header == "time,comparisons,matches,pc"
 
+    def test_run_with_metrics_export(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["run", "--dataset", "dblp_acm", "--scale", "0.1", "--increments", "5",
+             "--budget", "30", "--rate", "5", "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert {"schema_version", "counters", "gauges", "phases", "rounds"} <= set(snapshot)
+        assert snapshot["counters"]["engine.comparisons_executed"] > 0
+        assert "match" in snapshot["phases"]
+        assert snapshot["rounds"]["samples"]
+
     def test_run_pipelined(self, capsys):
         code = main(
             ["run", "--dataset", "dblp_acm", "--scale", "0.1", "--increments", "5",

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.increments import make_stream_plan, split_into_increments
+from repro.core.increments import Increment, make_stream_plan, split_into_increments
+from repro.core.dataset import GroundTruth
+from repro.core.profile import EntityProfile
 from repro.evaluation.experiments import make_matcher, make_system
 from repro.streaming.engine import StreamingEngine
 from repro.streaming.pipelined import PipelinedStreamingEngine
+from repro.streaming.system import EmitResult, ERSystem, PipelineStats
 
 SYSTEMS = ("I-PES", "I-PCS", "I-PBS", "I-BASE")
 ENGINES = (StreamingEngine, PipelinedStreamingEngine)
@@ -52,6 +55,63 @@ def test_engines_agree_on_exhaustive_outcome(system_name, small_dblp_acm):
     )
     assert serial.work_exhausted and pipelined.work_exhausted
     assert serial.final_pc == pytest.approx(pipelined.final_pc, abs=0.02)
+
+
+class _BackpressureProbe(ERSystem):
+    """Accepts one increment, then refuses: captures the backlog the engine
+    reports to ``emit`` while arrived increments queue up."""
+
+    name = "backpressure-probe"
+
+    def __init__(self) -> None:
+        self.seen_backlogs: list[int] = []
+        self._ingested = 0
+        self._profile = EntityProfile(0, {"a": "x"})
+
+    def ingest(self, increment: Increment) -> float:
+        self._ingested += 1
+        return 0.1
+
+    def ready_for_ingest(self) -> bool:
+        return self._ingested == 0
+
+    def emit(self, stats: PipelineStats) -> EmitResult:
+        self.seen_backlogs.append(stats.backlog)
+        return EmitResult(batch=(), cost=0.0)
+
+    def profile(self, pid: int) -> EntityProfile:
+        return self._profile
+
+
+def test_stats_report_true_backlog_under_backpressure():
+    """The engine must report arrived-but-uningested increments, not 0.
+
+    Five increments arrive at t=0; the probe ingests one and then refuses,
+    so each emission round must see the remaining queue: 4, 3, 2, 1, 0 as
+    the engine force-feeds one increment per round.
+    """
+    increments = [Increment(i, ()) for i in range(5)]
+    plan = make_stream_plan(increments, rate=None)
+    probe = _BackpressureProbe()
+    engine = StreamingEngine(make_matcher("JS"), budget=60.0)
+    engine.run(probe, plan, GroundTruth([]))
+    assert probe.seen_backlogs[0] == 4
+    assert max(probe.seen_backlogs) > 0
+    assert sorted(probe.seen_backlogs, reverse=True) == probe.seen_backlogs
+
+
+@pytest.mark.parametrize("engine_factory", ENGINES)
+def test_backlog_nonzero_on_fast_stream(engine_factory, small_dblp_acm):
+    """A fast stream against a back-pressured system must surface nonzero
+    backlog to findK / the metrics layer (regression: it was hardcoded 0)."""
+    plan = make_stream_plan(
+        split_into_increments(small_dblp_acm, 40, seed=0), rate=1000.0
+    )
+    system = make_system("I-BASE", small_dblp_acm, high_watermark=20, chunk_size=4)
+    engine = engine_factory(make_matcher("ED"), budget=120.0)
+    result = engine.run(system, plan, small_dblp_acm.ground_truth)
+    samples = result.details["metrics"]["rounds"]["samples"]
+    assert max(sample["backlog"] for sample in samples) > 0
 
 
 @pytest.mark.parametrize("engine_factory", ENGINES)

@@ -87,6 +87,17 @@ class TestAdaptiveK:
         assert controller.update(None, 10.0) == 64
         assert controller.update(10.0, None) == 64
 
+    def test_tie_holds_k_steady(self):
+        """input_rate == service_rate is a balanced stream: K must not move.
+
+        Regression: ties used to take the shrink branch, ratcheting K down
+        to the minimum on a perfectly balanced stream.
+        """
+        controller = AdaptiveK(initial=64)
+        for _ in range(50):
+            assert controller.update(input_rate=5.0, service_rate=5.0) == 64
+        assert controller.value == 64
+
     def test_clamped_to_bounds(self):
         controller = AdaptiveK(initial=8, minimum=4, maximum=16)
         for _ in range(20):
