@@ -46,7 +46,19 @@ from repro.matching import EditDistanceMatcher, JaccardMatcher, Matcher
 from repro.observability import MetricsRegistry
 from repro.pier import IPBS, IPCS, IPES, PierSystem
 from repro.progressive import BatchERSystem, PBSSystem, PPSSystem
+from repro.resilience import (
+    EngineCheckpoint,
+    FaultReport,
+    FaultSpec,
+    FaultyMatcher,
+    ResilienceConfig,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientMatcherError,
+    apply_faults,
+)
 from repro.streaming import RunResult, StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
 
 __version__ = "1.0.0"
 
@@ -56,8 +68,12 @@ __all__ = [
     "Dataset",
     "ERKind",
     "EditDistanceMatcher",
+    "EngineCheckpoint",
     "EntityProfile",
     "ExperimentConfig",
+    "FaultReport",
+    "FaultSpec",
+    "FaultyMatcher",
     "GroundTruth",
     "IBaseSystem",
     "IPBS",
@@ -70,9 +86,15 @@ __all__ = [
     "PBSSystem",
     "PPSSystem",
     "PierSystem",
+    "PipelinedStreamingEngine",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RunResult",
+    "SimulatedCrash",
     "StreamPlan",
     "StreamingEngine",
+    "TransientMatcherError",
+    "apply_faults",
     "available_datasets",
     "load_dataset",
     "make_matcher",

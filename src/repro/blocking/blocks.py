@@ -167,9 +167,16 @@ class BlockCollection:
         return self._blocks_of.get(pid, set())
 
     def blocks_of_as_blocks(self, pid: int) -> list[Block]:
-        """The live blocks containing ``pid``, as Block objects."""
+        """The live blocks containing ``pid``, as Block objects.
+
+        Returned in sorted key order: ``_blocks_of`` stores key *sets*, whose
+        iteration order varies with the interpreter's hash seed, and this
+        order feeds candidate generation (block ghosting, I-WNP, queue
+        tie-breaking).  Sorting keeps runs bit-identical across hosts and
+        checkpoint restores.
+        """
         result = []
-        for key in self._blocks_of.get(pid, ()):
+        for key in sorted(self._blocks_of.get(pid, ())):
             block = self._blocks.get(key)
             if block is not None:
                 result.append(block)

@@ -24,6 +24,7 @@ from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation.experiments import SYSTEM_NAMES, make_matcher, make_system
 from repro.evaluation.io import run_result_to_json, write_curve_csv
 from repro.evaluation.reporting import format_table, pc_over_time_table, summary_table
+from repro.resilience import FaultSpec, FaultyMatcher, apply_faults
 from repro.streaming.engine import StreamingEngine
 from repro.streaming.pipelined import PipelinedStreamingEngine
 
@@ -54,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--pipelined", action="store_true",
             help="use the two-stage pipelined engine instead of the serial one",
         )
+        sub.add_argument(
+            "--faults", type=int, default=None, metavar="SEED",
+            help="inject seeded chaos: perturb the stream plan (drops, "
+                 "redeliveries, reorders, bursts, corruption) and wrap the "
+                 "matcher with transient failures and latency spikes",
+        )
+        sub.add_argument(
+            "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+            help="checkpoint engine state every SECONDS of virtual time",
+        )
 
     run_parser = subparsers.add_parser("run", help="run one algorithm over a stream")
     run_parser.add_argument("--algorithm", default="I-PES", choices=list(SYSTEM_NAMES))
@@ -79,16 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _engine(args, matcher):
-    if args.pipelined:
-        return PipelinedStreamingEngine(matcher, budget=args.budget)
-    return StreamingEngine(matcher, budget=args.budget)
+    cls = PipelinedStreamingEngine if args.pipelined else StreamingEngine
+    return cls(matcher, budget=args.budget, checkpoint_every=args.checkpoint_every)
 
 
 def _run_one(args, dataset, algorithm: str):
     increments = split_into_increments(dataset, args.increments, seed=args.seed)
     plan = make_stream_plan(increments, rate=args.rate)
+    matcher = make_matcher(args.matcher)
+    if args.faults is not None:
+        report = apply_faults(plan, FaultSpec.chaos(args.faults))
+        print(report.summary(), file=sys.stderr)
+        plan = report.plan
+        matcher = FaultyMatcher(matcher, seed=args.faults)
     system = make_system(algorithm, dataset)
-    engine = _engine(args, make_matcher(args.matcher))
+    engine = _engine(args, matcher)
     return engine.run(system, plan, dataset.ground_truth)
 
 

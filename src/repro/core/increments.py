@@ -8,6 +8,7 @@ into a :class:`StreamPlan` consumed by the streaming engine.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -79,17 +80,38 @@ class StreamPlan:
 
     ``arrival_times[i]`` is the (virtual) time at which ``increments[i]``
     becomes available to the pipeline.  ``rate`` is retained for reporting.
+
+    Plans are validated at construction: arrival times must be finite,
+    non-negative and non-decreasing (the engines' ``bisect``-based backlog
+    computation silently corrupts otherwise), and increment ids must be
+    unique — unless ``allow_redelivery`` is set, which fault-injected plans
+    use to model at-least-once delivery (the engines deduplicate by id).
     """
 
     increments: tuple[Increment, ...]
     arrival_times: tuple[float, ...]
     rate: float | None = None
+    allow_redelivery: bool = False
 
     def __post_init__(self) -> None:
         if len(self.increments) != len(self.arrival_times):
             raise ValueError("increments and arrival_times must align")
-        if any(b < a for a, b in zip(self.arrival_times, self.arrival_times[1:])):
-            raise ValueError("arrival times must be non-decreasing")
+        previous = 0.0
+        for time in self.arrival_times:
+            if not math.isfinite(time):
+                raise ValueError(f"arrival times must be finite, got {time}")
+            if time < 0.0:
+                raise ValueError(f"arrival times must be non-negative, got {time}")
+            if time < previous:
+                raise ValueError("arrival times must be non-decreasing")
+            previous = time
+        if not self.allow_redelivery:
+            ids = [increment.index for increment in self.increments]
+            if len(set(ids)) != len(ids):
+                raise ValueError(
+                    "increment ids must be unique (pass allow_redelivery=True "
+                    "for at-least-once delivery plans)"
+                )
 
     def __len__(self) -> int:
         return len(self.increments)

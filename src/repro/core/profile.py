@@ -117,6 +117,15 @@ class EntityProfile:
     def __hash__(self) -> int:
         return hash(self.pid)
 
+    def __copy__(self) -> "EntityProfile":
+        # Profiles are immutable (and their token cache idempotent), so
+        # copies — notably the deep copies checkpointing performs over
+        # system state — can alias the original.
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "EntityProfile":
+        return self
+
     def __repr__(self) -> str:
         preview = ", ".join(f"{a.name}={a.value!r}" for a in self.attributes[:2])
         suffix = ", ..." if len(self.attributes) > 2 else ""

@@ -108,6 +108,30 @@ class ProgressRecorder:
     def curve(self) -> "ProgressCurve":
         return ProgressCurve(tuple(self._points), len(self.ground_truth))
 
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """All mutable progress state (the ground truth is shared, not copied)."""
+        return {
+            "sample_every": self.sample_every,
+            "comparisons_executed": self.comparisons_executed,
+            "matches_emitted": self.matches_emitted,
+            "found_pairs": set(self._found_pairs),
+            "points": list(self._points),
+            "duplicate_executions": self.duplicate_executions,
+            "executed_pairs": set(self._executed_pairs),
+            "match_events": list(self._match_events),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.sample_every = state["sample_every"]
+        self.comparisons_executed = state["comparisons_executed"]
+        self.matches_emitted = state["matches_emitted"]
+        self._found_pairs = set(state["found_pairs"])
+        self._points = list(state["points"])
+        self.duplicate_executions = state["duplicate_executions"]
+        self._executed_pairs = set(state["executed_pairs"])
+        self._match_events = list(state["match_events"])
+
 
 @dataclass(frozen=True, slots=True)
 class ProgressCurve:

@@ -18,6 +18,7 @@ distinguish it from the PIER algorithms and drive the paper's findings:
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 
 from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlocking
@@ -122,6 +123,21 @@ class IBaseSystem(ERSystem):
     @property
     def backlog(self) -> int:
         return len(self._fifo)
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Blocking state, the FIFO backlog and the executed set — the
+        generator and cost tables are pure configuration."""
+        return {
+            "blocker": copy.deepcopy(self.blocker),
+            "fifo": list(self._fifo),
+            "executed": set(self._executed),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        self.blocker = copy.deepcopy(state["blocker"])
+        self._fifo = deque(state["fifo"])
+        self._executed = set(state["executed"])
 
     def describe(self) -> dict[str, object]:
         return {

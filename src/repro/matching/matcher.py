@@ -11,6 +11,7 @@ independent of the host machine.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.core.profile import EntityProfile
@@ -99,6 +100,26 @@ class Matcher:
         self.comparisons_executed = 0
         self.matches_found = 0
         self.total_cost = 0.0
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Deep copy of all matcher state except the metrics binding.
+
+        The generic ``__dict__`` walk also captures subclass state — text
+        caches, wrapped matchers, fault-schedule RNGs — so a restored
+        matcher replays exactly the same evaluation (and fault) sequence.
+        """
+        return {
+            key: copy.deepcopy(value)
+            for key, value in self.__dict__.items()
+            if key != "_metrics"
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Rewind to a snapshot, keeping the current metrics binding."""
+        metrics = self._metrics
+        self.__dict__.update(copy.deepcopy(state))
+        self._metrics = metrics
 
     @property
     def mean_cost(self) -> float:

@@ -86,6 +86,21 @@ class RoundLog:
     def samples(self) -> list[dict[str, float | int | None]]:
         return list(self._samples)
 
+    # -- checkpoint support ---------------------------------------------
+    def dump_state(self) -> dict[str, object]:
+        return {
+            "max_samples": self.max_samples,
+            "stride": self.stride,
+            "offered": self._offered,
+            "samples": [dict(sample) for sample in self._samples],
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self.max_samples = state["max_samples"]
+        self.stride = state["stride"]
+        self._offered = state["offered"]
+        self._samples = [dict(sample) for sample in state["samples"]]
+
 
 class MetricsRegistry:
     """Named counters, gauges, phase timers and the per-round log of one run."""
@@ -135,6 +150,33 @@ class MetricsRegistry:
     # -- per-round samples ---------------------------------------------
     def record_round(self, **sample: float | int | None) -> None:
         self.rounds.offer(sample)
+
+    # -- checkpoint support ---------------------------------------------
+    def dump_state(self) -> dict[str, object]:
+        """Everything :meth:`load_state` needs to rebuild this registry.
+
+        Unlike :meth:`snapshot` (the reporting export), the dump keeps wall
+        times and the round log's internal cursor, so a restored registry
+        continues accumulating exactly where the original stopped.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "phases": {
+                name: (totals.virtual_s, totals.wall_s, totals.count)
+                for name, totals in self._phases.items()
+            },
+            "rounds": self.rounds.dump_state(),
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self._counters = dict(state["counters"])
+        self._gauges = dict(state["gauges"])
+        self._phases = {
+            name: PhaseTotals(virtual_s, wall_s, count)
+            for name, (virtual_s, wall_s, count) in state["phases"].items()
+        }
+        self.rounds.load_state(state["rounds"])
 
     # -- export ---------------------------------------------------------
     def snapshot(self, include_wall: bool = True) -> dict[str, object]:

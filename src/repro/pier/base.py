@@ -19,6 +19,7 @@ strategies and the incremental baseline:
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Callable, Iterable
 
@@ -152,6 +153,14 @@ class GetComparisons:
         self._drained_size.clear()
         self._heap.clear()
 
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        return {"drained": dict(self._drained_size), "heap": list(self._heap)}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self._drained_size = dict(state["drained"])
+        self._heap = list(state["heap"])
+
 
 class IncrPrioritization:
     """Strategy interface of Algorithm 1 (``IncrPrioritization``).
@@ -189,6 +198,18 @@ class IncrPrioritization:
     def exhausted(self, system: "PierSystem") -> bool:
         """No comparisons left and no refill possible."""
         raise NotImplementedError
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Deep copy of the strategy's ``CmpIndex`` state.
+
+        The default walks ``__dict__``; strategies with custom serialization
+        needs (e.g. the Bloom filter of I-PBS) override this.
+        """
+        return {key: copy.deepcopy(value) for key, value in self.__dict__.items()}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.__dict__.update(copy.deepcopy(state))
 
 
 class PierSystem(ERSystem):
@@ -302,6 +323,23 @@ class PierSystem(ERSystem):
 
     def was_executed(self, pid_x: int, pid_y: int) -> bool:
         return canonical_pair(pid_x, pid_y) in self._executed
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Blocking state, findK state, executed set, and the strategy's
+        ``CmpIndex`` — everything Algorithm 1 mutates during a run."""
+        return {
+            "blocker": copy.deepcopy(self.blocker),
+            "adaptive_k": copy.deepcopy(self.adaptive_k),
+            "executed": set(self._executed),
+            "strategy": self.strategy.snapshot_state(),
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        self.blocker = copy.deepcopy(state["blocker"])
+        self.adaptive_k = copy.deepcopy(state["adaptive_k"])
+        self._executed = set(state["executed"])
+        self.strategy.restore_state(state["strategy"])
 
     def _find_k(self, stats: PipelineStats) -> int:
         """The ``findK()`` of Algorithm 1.

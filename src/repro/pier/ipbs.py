@@ -25,6 +25,7 @@ comparisons from smaller blocks, the stated goals of the paper).
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Iterable
 
@@ -135,7 +136,9 @@ class IPBS(IncrPrioritization):
         block_size = len(block)
         cost = costs.per_block_open
         metrics.count("strategy.blocks_processed")
-        for pid_x in pending:
+        # Sorted iteration keeps generation order independent of set-table
+        # history, so a checkpoint-restored run replays identically.
+        for pid_x in sorted(pending):
             profile_x = system.profile(pid_x)
             if collection.clean_clean:
                 partners = block.members(1 - profile_x.source)
@@ -188,3 +191,22 @@ class IPBS(IncrPrioritization):
             count > 0 and collection.get(key) is not None
             for key, count in self.cardinality_index.items()
         )
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        # The Bloom filter goes through its own bit-exact serialization so
+        # restored runs reproduce the identical false-positive pattern.
+        return {
+            "index": copy.deepcopy(self.index),
+            "cardinality_index": dict(self.cardinality_index),
+            "profile_index": {key: set(pids) for key, pids in self.profile_index.items()},
+            "comparison_filter": self.comparison_filter.snapshot_state(),
+            "pending_heap": list(self._pending_heap),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.index = copy.deepcopy(state["index"])
+        self.cardinality_index = dict(state["cardinality_index"])
+        self.profile_index = {key: set(pids) for key, pids in state["profile_index"].items()}
+        self.comparison_filter.restore_state(state["comparison_filter"])
+        self._pending_heap = list(state["pending_heap"])

@@ -8,6 +8,7 @@ scheme — the limitation that motivates I-PES.
 
 from __future__ import annotations
 
+import copy
 from typing import Iterable
 
 from repro.core.profile import EntityProfile
@@ -93,3 +94,16 @@ class IPCS(IncrPrioritization):
 
     def exhausted(self, system: PierSystem) -> bool:
         return not self.index and self.refill.is_exhausted(system.collection)
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        # generator/scheme are pure configuration; only the queue and the
+        # refill drain cursor mutate during a run.
+        return {
+            "index": copy.deepcopy(self.index),
+            "refill": self.refill.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.index = copy.deepcopy(state["index"])
+        self.refill.restore_state(state["refill"])

@@ -21,6 +21,7 @@ sensitive to a poorly suited weighting scheme than I-PCS.
 
 from __future__ import annotations
 
+import copy
 from typing import Iterable
 
 from repro.core.comparison import WeightedComparison
@@ -202,3 +203,26 @@ class IPES(IncrPrioritization):
         if len(self):
             return False
         return self.refill.is_exhausted(system.collection)
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        return {
+            "entity_pq": {pid: copy.deepcopy(queue) for pid, queue in self.entity_pq.items()},
+            "entity_queue": copy.deepcopy(self.entity_queue),
+            "overflow": copy.deepcopy(self.overflow),
+            "total_weight": self.total_weight,
+            "count": self.count,
+            "entity_totals": dict(self._entity_totals),
+            "entity_items": self._entity_items,
+            "refill": self.refill.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.entity_pq = {pid: copy.deepcopy(queue) for pid, queue in state["entity_pq"].items()}
+        self.entity_queue = copy.deepcopy(state["entity_queue"])
+        self.overflow = copy.deepcopy(state["overflow"])
+        self.total_weight = state["total_weight"]
+        self.count = state["count"]
+        self._entity_totals = dict(state["entity_totals"])
+        self._entity_items = state["entity_items"]
+        self.refill.restore_state(state["refill"])

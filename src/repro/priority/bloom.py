@@ -72,6 +72,19 @@ class BloomFilter:
     def is_full(self) -> bool:
         return self.count >= self.capacity
 
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Bit-exact filter state as immutable plain data."""
+        return (self.capacity, self.error_rate, bytes(self._bits), self.count)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "BloomFilter":
+        capacity, error_rate, bits, count = state
+        filter_ = cls(capacity, error_rate)
+        filter_._bits = bytearray(bits)
+        filter_.count = count
+        return filter_
+
 
 class ScalableBloomFilter:
     """Scalable Bloom filter (Almeida et al.): stacked growing slices.
@@ -132,6 +145,18 @@ class ScalableBloomFilter:
     @property
     def num_slices(self) -> int:
         return len(self._slices)
+
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Bit-exact state of every slice plus the growth parameters."""
+        return {
+            "params": (self.initial_capacity, self.error_rate, self.growth, self.tightening),
+            "slices": [slice_.snapshot_state() for slice_ in self._slices],
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        (self.initial_capacity, self.error_rate, self.growth, self.tightening) = state["params"]
+        self._slices = [BloomFilter.from_state(slice_state) for slice_state in state["slices"]]
 
 
 class ExactComparisonFilter:

@@ -76,6 +76,13 @@ class RateEstimator:
         self._ema_amount = None
         self.samples = 0
 
+    # -- checkpoint support ---------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (self.alpha, self._last_time, self._ema_interval, self._ema_amount, self.samples)
+
+    def restore_state(self, state: tuple) -> None:
+        (self.alpha, self._last_time, self._ema_interval, self._ema_amount, self.samples) = state
+
 
 class AdaptiveK:
     """The ``findK()`` controller of Algorithm 1.

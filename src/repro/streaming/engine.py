@@ -25,6 +25,16 @@ is *not* executed and *not* credited to the progress curve — the engine
 charges the remaining time as cut-off work and stops, so no point of the
 reported curve ever lies beyond the budget.
 
+Resilience semantics (see :mod:`repro.resilience`): increments are delivered
+exactly once (redeliveries deduplicated by id), transient matcher failures
+are retried with capped exponential backoff *charged to the virtual clock*,
+pathological pairs are quarantined instead of crashing the run, backlog
+beyond a watermark is shed, and the engine can checkpoint at a configurable
+cadence and resume from an :class:`~repro.resilience.checkpoint.EngineCheckpoint`
+with bit-identical virtual results.  All of this is off by default
+(:data:`~repro.resilience.retry.DEFAULT_RESILIENCE` changes nothing about a
+fault-free run).
+
 Every run is instrumented through a fresh
 :class:`~repro.observability.metrics.MetricsRegistry` (bound to the system
 and the matcher): named counters, per-phase virtual/wall timers and a
@@ -35,17 +45,28 @@ bounded per-round gauge log, exported as ``details["metrics"]`` on the
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.dataset import GroundTruth
 from repro.core.increments import StreamPlan
 from repro.evaluation.recorder import ProgressCurve, ProgressRecorder
 from repro.matching.matcher import Matcher
-from repro.observability.metrics import MetricsRegistry
+from repro.observability.metrics import MetricsRegistry, _PhaseTimer
 from repro.priority.rates import RateEstimator
+from repro.resilience.checkpoint import EngineCheckpoint, SimulatedCrash, plan_token
+from repro.resilience.faults import TransientMatcherError
+from repro.resilience.retry import DEFAULT_RESILIENCE, ResilienceConfig
 from repro.streaming.system import ERSystem, PipelineStats
 
 __all__ = ["RunResult", "StreamingEngine"]
+
+#: Counters every run exports even when they stay zero, so dashboards and
+#: schema gates see the resilience surface on healthy runs too.
+_PRESEEDED_COUNTERS = (
+    "engine.retries",
+    "engine.quarantined_pairs",
+    "engine.shed_increments",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,8 +91,119 @@ class RunResult:
         return self.curve.final_pc
 
 
+def _execute_batch(
+    *,
+    batch: tuple[tuple[int, int], ...],
+    system: ERSystem,
+    matcher: Matcher,
+    recorder: ProgressRecorder,
+    duplicates: set[tuple[int, int]],
+    quarantined: set[tuple[int, int]],
+    metrics: MetricsRegistry,
+    match_timer: _PhaseTimer,
+    clock: float,
+    budget: float,
+    resilience: ResilienceConfig,
+) -> tuple[float, bool]:
+    """Execute one emission batch under deadline/retry/quarantine rules.
+
+    Shared by both engines so the budget-boundary semantics stay pinned in
+    exactly one place.  Returns ``(clock, deadline_cut)``; the clock never
+    exceeds ``budget`` on return.
+    """
+    retry = resilience.retry
+    ceiling = resilience.cost_ceiling
+    deadline_cut = False
+    for position, (pid_x, pid_y) in enumerate(batch):
+        profile_x = system.profile(pid_x)
+        profile_y = system.profile(pid_y)
+        cost = matcher.estimate_cost(profile_x, profile_y)
+        if ceiling is not None and cost > ceiling:
+            # Pathological pair: estimated cost alone busts the ceiling.
+            # Quarantine (count, never execute) instead of starving the run.
+            quarantined.add((min(pid_x, pid_y), max(pid_x, pid_y)))
+            metrics.count("engine.quarantined_pairs")
+            continue
+        if clock + cost > budget:
+            # The comparison cannot finish by the deadline: charge the
+            # cut-off time, credit nothing.
+            metrics.count("engine.comparisons_cut_by_deadline", len(batch) - position)
+            match_timer.virtual += budget - clock
+            clock = budget
+            deadline_cut = True
+            break
+        result = None
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                result = matcher.evaluate(profile_x, profile_y)
+                break
+            except TransientMatcherError as fault:
+                wasted = min(max(fault.cost, 0.0), budget - clock)
+                clock += wasted
+                match_timer.virtual += wasted
+                metrics.count("engine.matcher_faults")
+                if clock >= budget:
+                    metrics.count(
+                        "engine.comparisons_cut_by_deadline", len(batch) - position
+                    )
+                    deadline_cut = True
+                    break
+                if attempt == retry.max_attempts:
+                    quarantined.add((min(pid_x, pid_y), max(pid_x, pid_y)))
+                    metrics.count("engine.quarantined_pairs")
+                    break
+                backoff = min(retry.backoff(attempt), budget - clock)
+                clock += backoff
+                match_timer.virtual += backoff
+                metrics.count("engine.retries")
+                metrics.count("engine.retry_backoff_s", backoff)
+                if clock >= budget:
+                    metrics.count(
+                        "engine.comparisons_cut_by_deadline", len(batch) - position
+                    )
+                    deadline_cut = True
+                    break
+        if deadline_cut:
+            break
+        if result is None:
+            continue  # quarantined after exhausting its retry attempts
+        clock += result.cost
+        match_timer.virtual += result.cost
+        if clock > budget:
+            # The actual cost overshot the estimate (latency spike): the
+            # comparison did not finish by the deadline, so it is not
+            # credited and the overshoot is not charged.
+            match_timer.virtual -= clock - budget
+            clock = budget
+            metrics.count("engine.comparisons_cut_by_deadline", len(batch) - position)
+            deadline_cut = True
+            break
+        metrics.count("engine.comparisons_executed")
+        if recorder.record(pid_x, pid_y, clock):
+            metrics.count("engine.matches_recorded")
+        if result.is_match:
+            duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
+        if clock >= budget:
+            break
+    return clock, deadline_cut
+
+
 class StreamingEngine:
-    """Runs ER systems against stream plans under a virtual time budget."""
+    """Runs ER systems against stream plans under a virtual time budget.
+
+    Parameters
+    ----------
+    matcher / budget / match_cost_prior / sample_every:
+        As before: the match function, the virtual-time budget, the prior
+        mean comparison cost, and the progress-curve sampling stride.
+    resilience:
+        Fault-tolerance knobs (retry, quarantine, shedding, checkpointing);
+        the default changes nothing about a fault-free run.
+    checkpoint_every:
+        Convenience override for ``resilience.checkpoint_every``.
+    """
+
+    _KIND = "serial"
 
     def __init__(
         self,
@@ -79,6 +211,8 @@ class StreamingEngine:
         budget: float,
         match_cost_prior: float = 1e-4,
         sample_every: int = 64,
+        resilience: ResilienceConfig | None = None,
+        checkpoint_every: float | None = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
@@ -86,6 +220,12 @@ class StreamingEngine:
         self.budget = budget
         self.match_cost_prior = match_cost_prior
         self.sample_every = sample_every
+        resilience = resilience or DEFAULT_RESILIENCE
+        if checkpoint_every is not None:
+            resilience = replace(resilience, checkpoint_every=checkpoint_every)
+        self.resilience = resilience
+        #: Latest checkpoint of the most recent run (``None`` before any).
+        self.last_checkpoint: EngineCheckpoint | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -93,9 +233,17 @@ class StreamingEngine:
         system: ERSystem,
         plan: StreamPlan,
         ground_truth: GroundTruth,
+        resume_from: EngineCheckpoint | None = None,
     ) -> RunResult:
-        """Simulate ``system`` over ``plan`` and return its progress curve."""
+        """Simulate ``system`` over ``plan`` and return its progress curve.
+
+        With ``resume_from``, the engine restores every component from the
+        checkpoint and continues the run from its consistent cut; the
+        completed run is then bit-identical (curve, duplicates, counters)
+        to one that was never interrupted.
+        """
         matcher = self.matcher
+        resilience = self.resilience
         matcher.reset_stats()
         metrics = MetricsRegistry()
         system.bind_metrics(metrics)
@@ -103,17 +251,88 @@ class StreamingEngine:
         recorder = ProgressRecorder(ground_truth, sample_every=self.sample_every)
         arrival_estimator = RateEstimator()
         duplicates: set[tuple[int, int]] = set()
+        quarantined: set[tuple[int, int]] = set()
+        seen_increments: set[int] = set()
 
         arrival_times = plan.arrival_times
         increments = plan.increments
         n_arrivals = len(plan)
+        plan_fingerprint = plan_token(plan)
         next_arrival = 0
         clock = arrival_times[0] if n_arrivals else 0.0
         consumed_at: float | None = None if n_arrivals else 0.0
         work_exhausted = False
         rounds = 0
+        ingested = 0
+        shed = 0
+        duplicates_dropped = 0
+
+        if resume_from is not None:
+            self._check_resumable(resume_from, plan_fingerprint)
+            metrics.load_state(resume_from.metrics_state)
+            system.restore(resume_from.system_state)
+            matcher.restore_state(resume_from.matcher_state)
+            recorder.restore_state(resume_from.recorder_state)
+            arrival_estimator.restore_state(resume_from.estimator_state)
+            duplicates = set(resume_from.duplicates)
+            quarantined = set(resume_from.quarantined)
+            seen_increments = set(resume_from.seen_increments)
+            next_arrival = resume_from.next_arrival
+            clock = resume_from.clock
+            consumed_at = resume_from.consumed_at
+            rounds = resume_from.rounds
+            ingested = resume_from.ingested
+            shed = resume_from.shed
+            duplicates_dropped = resume_from.duplicates_dropped
+            self.last_checkpoint = resume_from
+        for name in _PRESEEDED_COUNTERS:
+            metrics.count(name, 0)
+        last_checkpoint_clock = clock
 
         while clock < self.budget:
+            # -- 0. resilience bookkeeping at the loop-top cut ----------
+            if (
+                resilience.checkpoint_every is not None
+                and clock - last_checkpoint_clock >= resilience.checkpoint_every
+            ):
+                metrics.count("engine.checkpoints_taken")
+                self.last_checkpoint = EngineCheckpoint(
+                    engine=self._KIND,
+                    budget=self.budget,
+                    plan_fingerprint=plan_fingerprint,
+                    clock=clock,
+                    ingest_clock=None,
+                    next_arrival=next_arrival,
+                    consumed_at=consumed_at,
+                    rounds=rounds,
+                    ingested=ingested,
+                    shed=shed,
+                    duplicates_dropped=duplicates_dropped,
+                    seen_increments=frozenset(seen_increments),
+                    duplicates=frozenset(duplicates),
+                    quarantined=frozenset(quarantined),
+                    system_state=system.snapshot(),
+                    matcher_state=matcher.snapshot_state(),
+                    recorder_state=recorder.snapshot_state(),
+                    estimator_state=arrival_estimator.snapshot_state(),
+                    metrics_state=metrics.dump_state(),
+                )
+                last_checkpoint_clock = clock
+            if resilience.crash_at is not None and clock >= resilience.crash_at:
+                raise SimulatedCrash(self.last_checkpoint, clock)
+            if resilience.shed_watermark is not None:
+                due = bisect.bisect_right(arrival_times, clock, next_arrival)
+                excess = (due - next_arrival) - resilience.shed_watermark
+                while excess > 0:
+                    # Overload: drop the oldest due increments outright.  A
+                    # later redelivery of the same id may still be ingested.
+                    metrics.count("engine.shed_increments")
+                    shed += 1
+                    next_arrival += 1
+                    excess -= 1
+                    if next_arrival == n_arrivals:
+                        consumed_at = clock
+
             # -- 1. ingest all due increments ---------------------------
             ingested_now = False
             with metrics.time_phase("ingest") as ingest_timer:
@@ -122,11 +341,22 @@ class StreamingEngine:
                     and arrival_times[next_arrival] <= clock
                     and system.ready_for_ingest()
                 ):
+                    increment = increments[next_arrival]
+                    if increment.index in seen_increments:
+                        metrics.count("engine.duplicate_increments_dropped")
+                        duplicates_dropped += 1
+                        next_arrival += 1
+                        ingested_now = True
+                        if next_arrival == n_arrivals:
+                            consumed_at = clock
+                        continue
+                    seen_increments.add(increment.index)
                     arrival_estimator.record(arrival_times[next_arrival])
-                    cost = system.ingest(increments[next_arrival])
+                    cost = system.ingest(increment)
                     clock += cost
                     ingest_timer.virtual += cost
                     metrics.count("engine.increments_ingested")
+                    ingested += 1
                     next_arrival += 1
                     ingested_now = True
                     if next_arrival == n_arrivals:
@@ -147,30 +377,19 @@ class StreamingEngine:
             executed_before = recorder.comparisons_executed
             if emit.batch:
                 with metrics.time_phase("match") as match_timer:
-                    for position, (pid_x, pid_y) in enumerate(emit.batch):
-                        profile_x = system.profile(pid_x)
-                        profile_y = system.profile(pid_y)
-                        cost = matcher.estimate_cost(profile_x, profile_y)
-                        if clock + cost > self.budget:
-                            # The comparison cannot finish by the deadline:
-                            # charge the cut-off time, credit nothing.
-                            metrics.count(
-                                "engine.comparisons_cut_by_deadline",
-                                len(emit.batch) - position,
-                            )
-                            match_timer.virtual += self.budget - clock
-                            clock = self.budget
-                            break
-                        result = matcher.evaluate(profile_x, profile_y)
-                        clock += result.cost
-                        match_timer.virtual += result.cost
-                        metrics.count("engine.comparisons_executed")
-                        if recorder.record(pid_x, pid_y, clock):
-                            metrics.count("engine.matches_recorded")
-                        if result.is_match:
-                            duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-                        if clock >= self.budget:
-                            break
+                    clock, _ = _execute_batch(
+                        batch=emit.batch,
+                        system=system,
+                        matcher=matcher,
+                        recorder=recorder,
+                        duplicates=duplicates,
+                        quarantined=quarantined,
+                        metrics=metrics,
+                        match_timer=match_timer,
+                        clock=clock,
+                        budget=self.budget,
+                        resilience=resilience,
+                    )
                 self._record_round(
                     metrics, system, stats, rounds, clock,
                     emitted=len(emit.batch),
@@ -185,13 +404,23 @@ class StreamingEngine:
             if next_arrival < n_arrivals and arrival_times[next_arrival] <= clock:
                 # Back-pressure refused ingestion but there is no work
                 # either: force-feed one increment to avoid a livelock.
+                increment = increments[next_arrival]
+                if increment.index in seen_increments:
+                    metrics.count("engine.duplicate_increments_dropped")
+                    duplicates_dropped += 1
+                    next_arrival += 1
+                    if next_arrival == n_arrivals:
+                        consumed_at = clock
+                    continue
                 with metrics.time_phase("ingest") as ingest_timer:
+                    seen_increments.add(increment.index)
                     arrival_estimator.record(arrival_times[next_arrival])
-                    cost = system.ingest(increments[next_arrival])
+                    cost = system.ingest(increment)
                     clock += cost
                     ingest_timer.virtual += cost
                     metrics.count("engine.increments_ingested")
                     metrics.count("engine.forced_ingests")
+                    ingested += 1
                     next_arrival += 1
                     if next_arrival == n_arrivals:
                         consumed_at = clock
@@ -220,6 +449,13 @@ class StreamingEngine:
         metrics.gauge("engine.clock_end", final_clock)
         metrics.gauge("engine.budget", self.budget)
         details = dict(system.describe())
+        details["resilience"] = {
+            "retries": metrics.counter("engine.retries"),
+            "quarantined_pairs": tuple(sorted(quarantined)),
+            "shed_increments": shed,
+            "duplicate_increments_dropped": duplicates_dropped,
+            "checkpoints_taken": metrics.counter("engine.checkpoints_taken"),
+        }
         details["metrics"] = metrics.snapshot()
         return RunResult(
             system_name=system.name,
@@ -231,12 +467,27 @@ class StreamingEngine:
             budget=self.budget,
             stream_consumed_at=consumed_at,
             work_exhausted=work_exhausted,
-            increments_ingested=next_arrival,
+            increments_ingested=ingested,
             match_events=recorder.match_events(),
             details=details,
         )
 
     # ------------------------------------------------------------------
+    def _check_resumable(self, checkpoint: EngineCheckpoint, plan_fingerprint: int) -> None:
+        """Refuse resumes that would silently corrupt the run."""
+        if checkpoint.engine != self._KIND:
+            raise ValueError(
+                f"checkpoint was taken by a {checkpoint.engine!r} engine, "
+                f"cannot resume on {self._KIND!r}"
+            )
+        if checkpoint.budget != self.budget:
+            raise ValueError(
+                f"checkpoint budget {checkpoint.budget} does not match "
+                f"engine budget {self.budget}"
+            )
+        if checkpoint.plan_fingerprint != plan_fingerprint:
+            raise ValueError("checkpoint was taken against a different stream plan")
+
     @staticmethod
     def _backlog(plan: StreamPlan, next_arrival: int, clock: float) -> int:
         """Increments that have arrived by ``clock`` but are not yet ingested."""

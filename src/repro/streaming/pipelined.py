@@ -22,7 +22,15 @@ real pipeline.
 The reported curve timestamps, budget, and stream-consumed marker use the
 same conventions as the serial engine, so results are directly comparable;
 under load, the pipelined engine consumes the stream strictly earlier
-because ingestion no longer waits for the matcher.
+because ingestion no longer waits for the matcher.  The budget is a hard
+deadline for *both* clocks: an ingest that cannot start before the deadline
+is not performed (the run ends budget-bound), and the reported
+``engine.ingest_clock_end`` gauge never exceeds the budget.
+
+Resilience semantics (exactly-once increments, matcher retry with backoff,
+cost-ceiling quarantine, load shedding, checkpoint/restore) are shared with
+the serial engine — see :mod:`repro.resilience` and
+:func:`repro.streaming.engine._execute_batch`.
 """
 
 from __future__ import annotations
@@ -35,7 +43,14 @@ from repro.evaluation.recorder import ProgressRecorder
 from repro.matching.matcher import Matcher
 from repro.observability.metrics import MetricsRegistry
 from repro.priority.rates import RateEstimator
-from repro.streaming.engine import RunResult, StreamingEngine
+from repro.resilience.checkpoint import EngineCheckpoint, SimulatedCrash, plan_token
+from repro.resilience.retry import DEFAULT_RESILIENCE, ResilienceConfig
+from repro.streaming.engine import (
+    _PRESEEDED_COUNTERS,
+    RunResult,
+    StreamingEngine,
+    _execute_batch,
+)
 from repro.streaming.system import ERSystem, PipelineStats
 
 __all__ = ["PipelinedStreamingEngine"]
@@ -44,12 +59,16 @@ __all__ = ["PipelinedStreamingEngine"]
 class PipelinedStreamingEngine:
     """Runs an :class:`ERSystem` with concurrent ingest and match stages."""
 
+    _KIND = "pipelined"
+
     def __init__(
         self,
         matcher: Matcher,
         budget: float,
         match_cost_prior: float = 1e-4,
         sample_every: int = 64,
+        resilience: ResilienceConfig | None = None,
+        checkpoint_every: float | None = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
@@ -57,6 +76,16 @@ class PipelinedStreamingEngine:
         self.budget = budget
         self.match_cost_prior = match_cost_prior
         self.sample_every = sample_every
+        resilience = resilience or DEFAULT_RESILIENCE
+        if checkpoint_every is not None:
+            from dataclasses import replace
+
+            resilience = replace(resilience, checkpoint_every=checkpoint_every)
+        self.resilience = resilience
+        self.last_checkpoint: EngineCheckpoint | None = None
+
+    # Same validation rules as the serial engine (kind/budget/plan match).
+    _check_resumable = StreamingEngine._check_resumable
 
     # ------------------------------------------------------------------
     def run(
@@ -64,8 +93,10 @@ class PipelinedStreamingEngine:
         system: ERSystem,
         plan: StreamPlan,
         ground_truth: GroundTruth,
+        resume_from: EngineCheckpoint | None = None,
     ) -> RunResult:
         matcher = self.matcher
+        resilience = self.resilience
         matcher.reset_stats()
         metrics = MetricsRegistry()
         system.bind_metrics(metrics)
@@ -73,26 +104,66 @@ class PipelinedStreamingEngine:
         recorder = ProgressRecorder(ground_truth, sample_every=self.sample_every)
         arrival_estimator = RateEstimator()
         duplicates: set[tuple[int, int]] = set()
+        quarantined: set[tuple[int, int]] = set()
+        seen_increments: set[int] = set()
 
         arrival_times = plan.arrival_times
         increments = plan.increments
         n_arrivals = len(plan)
+        plan_fingerprint = plan_token(plan)
         next_arrival = 0
         ingest_clock = arrival_times[0] if n_arrivals else 0.0
         match_clock = ingest_clock
         consumed_at: float | None = None if n_arrivals else 0.0
         work_exhausted = False
         rounds = 0
+        ingested = 0
+        shed = 0
+        duplicates_dropped = 0
+
+        if resume_from is not None:
+            self._check_resumable(resume_from, plan_fingerprint)
+            metrics.load_state(resume_from.metrics_state)
+            system.restore(resume_from.system_state)
+            matcher.restore_state(resume_from.matcher_state)
+            recorder.restore_state(resume_from.recorder_state)
+            arrival_estimator.restore_state(resume_from.estimator_state)
+            duplicates = set(resume_from.duplicates)
+            quarantined = set(resume_from.quarantined)
+            seen_increments = set(resume_from.seen_increments)
+            next_arrival = resume_from.next_arrival
+            ingest_clock = resume_from.ingest_clock
+            match_clock = resume_from.clock
+            consumed_at = resume_from.consumed_at
+            rounds = resume_from.rounds
+            ingested = resume_from.ingested
+            shed = resume_from.shed
+            duplicates_dropped = resume_from.duplicates_dropped
+            self.last_checkpoint = resume_from
+        for name in _PRESEEDED_COUNTERS:
+            metrics.count(name, 0)
+        last_checkpoint_clock = match_clock
 
         def ingest_next(forced: bool = False) -> None:
-            nonlocal ingest_clock, next_arrival, consumed_at
+            """Consume the next arrival (dropping exactly-once redeliveries)."""
+            nonlocal ingest_clock, next_arrival, consumed_at, ingested, duplicates_dropped
+            increment = increments[next_arrival]
+            if increment.index in seen_increments:
+                metrics.count("engine.duplicate_increments_dropped")
+                duplicates_dropped += 1
+                next_arrival += 1
+                if next_arrival == n_arrivals:
+                    consumed_at = ingest_clock
+                return
             with metrics.time_phase("ingest") as timer:
                 start = max(arrival_times[next_arrival], ingest_clock)
+                seen_increments.add(increment.index)
                 arrival_estimator.record(arrival_times[next_arrival])
-                cost = system.ingest(increments[next_arrival])
+                cost = system.ingest(increment)
                 ingest_clock = start + cost
                 timer.virtual += cost
             metrics.count("engine.increments_ingested")
+            ingested += 1
             if forced:
                 metrics.count("engine.forced_ingests")
             next_arrival += 1
@@ -104,6 +175,46 @@ class PipelinedStreamingEngine:
             return due - next_arrival
 
         while match_clock < self.budget:
+            # -- 0. resilience bookkeeping at the loop-top cut -----------
+            if (
+                resilience.checkpoint_every is not None
+                and match_clock - last_checkpoint_clock >= resilience.checkpoint_every
+            ):
+                metrics.count("engine.checkpoints_taken")
+                self.last_checkpoint = EngineCheckpoint(
+                    engine=self._KIND,
+                    budget=self.budget,
+                    plan_fingerprint=plan_fingerprint,
+                    clock=match_clock,
+                    ingest_clock=ingest_clock,
+                    next_arrival=next_arrival,
+                    consumed_at=consumed_at,
+                    rounds=rounds,
+                    ingested=ingested,
+                    shed=shed,
+                    duplicates_dropped=duplicates_dropped,
+                    seen_increments=frozenset(seen_increments),
+                    duplicates=frozenset(duplicates),
+                    quarantined=frozenset(quarantined),
+                    system_state=system.snapshot(),
+                    matcher_state=matcher.snapshot_state(),
+                    recorder_state=recorder.snapshot_state(),
+                    estimator_state=arrival_estimator.snapshot_state(),
+                    metrics_state=metrics.dump_state(),
+                )
+                last_checkpoint_clock = match_clock
+            if resilience.crash_at is not None and match_clock >= resilience.crash_at:
+                raise SimulatedCrash(self.last_checkpoint, match_clock)
+            if resilience.shed_watermark is not None:
+                excess = backlog() - resilience.shed_watermark
+                while excess > 0:
+                    metrics.count("engine.shed_increments")
+                    shed += 1
+                    next_arrival += 1
+                    excess -= 1
+                    if next_arrival == n_arrivals:
+                        consumed_at = match_clock
+
             # -- 1. catch the ingest stage up to the match clock ---------
             while (
                 next_arrival < n_arrivals
@@ -123,53 +234,51 @@ class PipelinedStreamingEngine:
                 rounds += 1
                 metrics.count("engine.emission_rounds")
                 executed_before = recorder.comparisons_executed
-                deadline_cut = False
+                clock_before = match_clock
                 with metrics.time_phase("match") as match_timer:
-                    for position, (pid_x, pid_y) in enumerate(emit.batch):
-                        profile_x = system.profile(pid_x)
-                        profile_y = system.profile(pid_y)
-                        cost = matcher.estimate_cost(profile_x, profile_y)
-                        if match_clock + cost > self.budget:
-                            # Cannot finish by the deadline: charge the
-                            # cut-off time, credit nothing.
-                            metrics.count(
-                                "engine.comparisons_cut_by_deadline",
-                                len(emit.batch) - position,
-                            )
-                            match_timer.virtual += self.budget - match_clock
-                            match_clock = self.budget
-                            deadline_cut = True
-                            break
-                        result = matcher.evaluate(profile_x, profile_y)
-                        match_clock += result.cost
-                        match_timer.virtual += result.cost
-                        metrics.count("engine.comparisons_executed")
-                        if recorder.record(pid_x, pid_y, match_clock):
-                            metrics.count("engine.matches_recorded")
-                        if result.is_match:
-                            duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-                        if match_clock >= self.budget:
-                            break
+                    match_clock, deadline_cut = _execute_batch(
+                        batch=emit.batch,
+                        system=system,
+                        matcher=matcher,
+                        recorder=recorder,
+                        duplicates=duplicates,
+                        quarantined=quarantined,
+                        metrics=metrics,
+                        match_timer=match_timer,
+                        clock=match_clock,
+                        budget=self.budget,
+                        resilience=resilience,
+                    )
                 executed = recorder.comparisons_executed - executed_before
                 StreamingEngine._record_round(
                     metrics, system, stats, rounds, match_clock,
                     emitted=len(emit.batch), executed=executed,
                 )
-                if executed or deadline_cut or emit.cost > 0:
+                if executed or deadline_cut or emit.cost > 0 or match_clock > clock_before:
                     continue
 
             # -- 3. match stage starved: advance towards more input ------
             if next_arrival < n_arrivals:
+                start = max(arrival_times[next_arrival], ingest_clock)
+                if start >= self.budget:
+                    # The next ingest cannot even start before the deadline:
+                    # the run is budget-bound; charging work past the budget
+                    # (and reporting clocks beyond it) would be wrong.
+                    metrics.count(
+                        "engine.ingests_cut_by_deadline", n_arrivals - next_arrival
+                    )
+                    match_clock = self.budget
+                    break
                 if system.ready_for_ingest():
                     # Run the next ingest (even if it starts after the match
                     # clock) and let the matcher wait for its completion.
                     ingest_next()
-                    match_clock = max(match_clock, ingest_clock)
+                    match_clock = min(max(match_clock, ingest_clock), self.budget)
                     continue
                 # Back-pressured with no pending comparisons: force one
                 # increment through to avoid a livelock.
                 ingest_next(forced=True)
-                match_clock = max(match_clock, ingest_clock)
+                match_clock = min(max(match_clock, ingest_clock), self.budget)
                 continue
             with metrics.time_phase("idle") as idle_timer:
                 idle_cost = system.on_idle(
@@ -188,8 +297,15 @@ class PipelinedStreamingEngine:
         recorder.mark(final_clock)
         metrics.gauge("engine.clock_end", final_clock)
         metrics.gauge("engine.budget", self.budget)
-        metrics.gauge("engine.ingest_clock_end", ingest_clock)
+        metrics.gauge("engine.ingest_clock_end", min(ingest_clock, self.budget))
         details = dict(system.describe())
+        details["resilience"] = {
+            "retries": metrics.counter("engine.retries"),
+            "quarantined_pairs": tuple(sorted(quarantined)),
+            "shed_increments": shed,
+            "duplicate_increments_dropped": duplicates_dropped,
+            "checkpoints_taken": metrics.counter("engine.checkpoints_taken"),
+        }
         details["metrics"] = metrics.snapshot()
         return RunResult(
             system_name=system.name,
@@ -201,7 +317,7 @@ class PipelinedStreamingEngine:
             budget=self.budget,
             stream_consumed_at=consumed_at,
             work_exhausted=work_exhausted,
-            increments_ingested=next_arrival,
+            increments_ingested=ingested,
             match_events=recorder.match_events(),
             details=details,
         )

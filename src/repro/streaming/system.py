@@ -11,6 +11,7 @@ adaptive budgets) emerge from one shared simulation loop.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.core.increments import Increment
@@ -131,6 +132,31 @@ class ERSystem:
         return the virtual cost.  Returning ``None`` signals exhaustion.
         """
         return None
+
+    def snapshot(self) -> dict[str, object]:
+        """A deep snapshot of all mutable system state.
+
+        The default walks ``__dict__`` (excluding the metrics binding),
+        which covers any system built from plain containers; systems with
+        structure-sharing internals override this for tighter control.
+        Profiles alias rather than copy (``EntityProfile.__deepcopy__``),
+        so snapshots cost memory proportional to the *index* state only.
+        """
+        return {
+            key: copy.deepcopy(value)
+            for key, value in self.__dict__.items()
+            if key != "_metrics"
+        }
+
+    def restore(self, state: dict[str, object]) -> None:
+        """Rewind to a snapshot, keeping the current metrics binding.
+
+        The state is deep-copied on the way in, so one checkpoint can seed
+        any number of restores.
+        """
+        metrics = self._metrics
+        self.__dict__.update(copy.deepcopy(state))
+        self._metrics = metrics
 
     def describe(self) -> dict[str, object]:
         """Reporting metadata."""

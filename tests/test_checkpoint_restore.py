@@ -1,0 +1,229 @@
+"""Crash-resume determinism tests for engine checkpoint/restore.
+
+The recovery guarantee under test: a run that crashes mid-flight and resumes
+from its latest checkpoint finishes with the *same* result as a run that was
+never interrupted — same duplicate set, identical progress curve beyond the
+recovery point, no comparison double-counted, converged counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.increments import make_stream_plan, split_into_increments
+from repro.evaluation.experiments import make_matcher
+from repro.incremental.ibase import IBaseSystem
+from repro.pier.base import PierSystem
+from repro.pier.ipbs import IPBS
+from repro.pier.ipcs import IPCS
+from repro.pier.ipes import IPES
+from repro.resilience import (
+    FaultSpec,
+    FaultyMatcher,
+    ResilienceConfig,
+    SimulatedCrash,
+    apply_faults,
+)
+from repro.streaming.engine import StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
+
+STRATEGY_FACTORIES = {
+    "I-PCS": lambda: PierSystem(IPCS()),
+    "I-PBS": lambda: PierSystem(IPBS()),
+    "I-PES": lambda: PierSystem(IPES()),
+    "I-BASE": IBaseSystem,
+}
+
+BUDGET = 10.0
+CHECKPOINT_EVERY = 1.5
+CRASH_AT = 5.0
+
+
+def _plan(dataset, n=10, rate=5.0):
+    return make_stream_plan(split_into_increments(dataset, n, seed=0), rate=rate)
+
+
+def _crash_and_resume(factory, plan, truth, engine_cls=StreamingEngine, matcher="ED"):
+    """Run to a simulated crash, then resume on fresh engine + system."""
+    crashing = engine_cls(
+        make_matcher(matcher), budget=BUDGET,
+        resilience=ResilienceConfig(
+            checkpoint_every=CHECKPOINT_EVERY, crash_at=CRASH_AT
+        ),
+    )
+    with pytest.raises(SimulatedCrash) as exc:
+        crashing.run(factory(), plan, truth)
+    checkpoint = exc.value.checkpoint
+    assert checkpoint is not None, "crash happened before the first checkpoint"
+    assert checkpoint.clock <= exc.value.clock
+    resumed_engine = engine_cls(
+        make_matcher(matcher), budget=BUDGET, checkpoint_every=CHECKPOINT_EVERY
+    )
+    return resumed_engine.run(factory(), plan, truth, resume_from=checkpoint), checkpoint
+
+
+def _assert_runs_identical(uninterrupted, resumed):
+    assert resumed.duplicates == uninterrupted.duplicates
+    assert resumed.curve.points == uninterrupted.curve.points
+    assert resumed.comparisons_executed == uninterrupted.comparisons_executed
+    assert resumed.clock_end == uninterrupted.clock_end
+    assert resumed.increments_ingested == uninterrupted.increments_ingested
+    assert (
+        resumed.details["metrics"]["counters"]
+        == uninterrupted.details["metrics"]["counters"]
+    )
+
+
+class TestCrashResumeDeterminism:
+    @pytest.mark.parametrize("name", list(STRATEGY_FACTORIES))
+    def test_serial_engine(self, name, small_dblp_acm):
+        factory = STRATEGY_FACTORIES[name]
+        plan = _plan(small_dblp_acm)
+        uninterrupted = StreamingEngine(
+            make_matcher("ED"), budget=BUDGET, checkpoint_every=CHECKPOINT_EVERY
+        ).run(factory(), plan, small_dblp_acm.ground_truth)
+        resumed, checkpoint = _crash_and_resume(
+            factory, plan, small_dblp_acm.ground_truth
+        )
+        assert checkpoint.clock < BUDGET
+        _assert_runs_identical(uninterrupted, resumed)
+
+    @pytest.mark.parametrize("name", ["I-PES", "I-BASE"])
+    def test_pipelined_engine(self, name, small_dblp_acm):
+        factory = STRATEGY_FACTORIES[name]
+        plan = _plan(small_dblp_acm)
+        uninterrupted = PipelinedStreamingEngine(
+            make_matcher("ED"), budget=BUDGET, checkpoint_every=CHECKPOINT_EVERY
+        ).run(factory(), plan, small_dblp_acm.ground_truth)
+        resumed, checkpoint = _crash_and_resume(
+            factory, plan, small_dblp_acm.ground_truth,
+            engine_cls=PipelinedStreamingEngine,
+        )
+        assert checkpoint.ingest_clock is not None
+        _assert_runs_identical(uninterrupted, resumed)
+
+    def test_no_double_counted_comparisons(self, small_dblp_acm):
+        """The resumed run's executed total equals the uninterrupted one and
+        contains no re-executions of pre-crash pairs."""
+        factory = STRATEGY_FACTORIES["I-PES"]
+        plan = _plan(small_dblp_acm)
+        uninterrupted = StreamingEngine(
+            make_matcher("ED"), budget=BUDGET, checkpoint_every=CHECKPOINT_EVERY
+        ).run(factory(), plan, small_dblp_acm.ground_truth)
+        resumed, checkpoint = _crash_and_resume(
+            factory, plan, small_dblp_acm.ground_truth
+        )
+        assert resumed.comparisons_executed == uninterrupted.comparisons_executed
+        pre_crash = checkpoint.recorder_state["comparisons_executed"]
+        assert 0 < pre_crash < resumed.comparisons_executed
+        assert (
+            resumed.details["metrics"]["counters"]["engine.comparisons_executed"]
+            == uninterrupted.comparisons_executed
+        )
+
+    def test_curve_identical_beyond_recovery_point(self, small_dblp_acm):
+        factory = STRATEGY_FACTORIES["I-PCS"]
+        plan = _plan(small_dblp_acm)
+        uninterrupted = StreamingEngine(
+            make_matcher("ED"), budget=BUDGET, checkpoint_every=CHECKPOINT_EVERY
+        ).run(factory(), plan, small_dblp_acm.ground_truth)
+        resumed, checkpoint = _crash_and_resume(
+            factory, plan, small_dblp_acm.ground_truth
+        )
+        beyond = [p for p in resumed.curve.points if p.time >= checkpoint.clock]
+        expected = [p for p in uninterrupted.curve.points if p.time >= checkpoint.clock]
+        assert beyond == expected and beyond
+
+    def test_crash_resume_under_chaos(self, small_dblp_acm):
+        """Restoring the FaultyMatcher RNG replays the identical fault
+        schedule, so even chaotic runs resume bit-identically."""
+        plan = apply_faults(_plan(small_dblp_acm), FaultSpec.chaos(seed=7)).plan
+        resilience = ResilienceConfig(checkpoint_every=CHECKPOINT_EVERY)
+
+        def engine(crash_at=None, resil=resilience):
+            from dataclasses import replace
+
+            return StreamingEngine(
+                FaultyMatcher(make_matcher("ED"), seed=7), budget=BUDGET,
+                resilience=replace(resil, crash_at=crash_at),
+            )
+
+        uninterrupted = engine().run(
+            PierSystem(IPES()), plan, small_dblp_acm.ground_truth
+        )
+        with pytest.raises(SimulatedCrash) as exc:
+            engine(crash_at=CRASH_AT).run(
+                PierSystem(IPES()), plan, small_dblp_acm.ground_truth
+            )
+        resumed = engine().run(
+            PierSystem(IPES()), plan, small_dblp_acm.ground_truth,
+            resume_from=exc.value.checkpoint,
+        )
+        _assert_runs_identical(uninterrupted, resumed)
+
+
+class TestCheckpointPlumbing:
+    def test_checkpoints_taken_counted(self, small_dblp_acm):
+        plan = _plan(small_dblp_acm)
+        engine = StreamingEngine(
+            make_matcher("ED"), budget=BUDGET, checkpoint_every=2.0
+        )
+        result = engine.run(PierSystem(IPES()), plan, small_dblp_acm.ground_truth)
+        taken = result.details["metrics"]["counters"]["engine.checkpoints_taken"]
+        assert taken >= 2
+        assert result.details["resilience"]["checkpoints_taken"] == taken
+        assert engine.last_checkpoint is not None
+        assert engine.last_checkpoint.engine == "serial"
+
+    def test_no_checkpoints_by_default(self, small_dblp_acm):
+        plan = _plan(small_dblp_acm)
+        engine = StreamingEngine(make_matcher("JS"), budget=BUDGET)
+        result = engine.run(PierSystem(IPES()), plan, small_dblp_acm.ground_truth)
+        assert "engine.checkpoints_taken" not in result.details["metrics"]["counters"]
+        assert engine.last_checkpoint is None
+
+    def test_resume_rejects_wrong_engine_kind(self, small_dblp_acm):
+        plan = _plan(small_dblp_acm)
+        engine = StreamingEngine(make_matcher("ED"), budget=BUDGET, checkpoint_every=1.0)
+        engine.run(PierSystem(IPES()), plan, small_dblp_acm.ground_truth)
+        checkpoint = engine.last_checkpoint
+        other = PipelinedStreamingEngine(make_matcher("ED"), budget=BUDGET)
+        with pytest.raises(ValueError, match="engine"):
+            other.run(
+                PierSystem(IPES()), plan, small_dblp_acm.ground_truth,
+                resume_from=checkpoint,
+            )
+
+    def test_resume_rejects_wrong_budget(self, small_dblp_acm):
+        plan = _plan(small_dblp_acm)
+        engine = StreamingEngine(make_matcher("ED"), budget=BUDGET, checkpoint_every=1.0)
+        engine.run(PierSystem(IPES()), plan, small_dblp_acm.ground_truth)
+        other = StreamingEngine(make_matcher("ED"), budget=BUDGET * 2)
+        with pytest.raises(ValueError, match="budget"):
+            other.run(
+                PierSystem(IPES()), plan, small_dblp_acm.ground_truth,
+                resume_from=engine.last_checkpoint,
+            )
+
+    def test_resume_rejects_different_plan(self, small_dblp_acm):
+        plan = _plan(small_dblp_acm)
+        engine = StreamingEngine(make_matcher("ED"), budget=BUDGET, checkpoint_every=1.0)
+        engine.run(PierSystem(IPES()), plan, small_dblp_acm.ground_truth)
+        other_plan = _plan(small_dblp_acm, n=7)
+        fresh = StreamingEngine(make_matcher("ED"), budget=BUDGET)
+        with pytest.raises(ValueError, match="plan"):
+            fresh.run(
+                PierSystem(IPES()), other_plan, small_dblp_acm.ground_truth,
+                resume_from=engine.last_checkpoint,
+            )
+
+    def test_crash_before_first_checkpoint_carries_none(self, small_dblp_acm):
+        plan = _plan(small_dblp_acm)
+        engine = StreamingEngine(
+            make_matcher("ED"), budget=BUDGET,
+            resilience=ResilienceConfig(checkpoint_every=100.0, crash_at=1.0),
+        )
+        with pytest.raises(SimulatedCrash) as exc:
+            engine.run(PierSystem(IPES()), plan, small_dblp_acm.ground_truth)
+        assert exc.value.checkpoint is None
+        assert exc.value.clock >= 1.0

@@ -19,6 +19,7 @@ from repro.pier.ipbs import IPBS
 from repro.pier.ipcs import IPCS
 from repro.pier.ipes import IPES
 from repro.streaming.engine import StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
 
 from tests.conftest import make_profile
 
@@ -110,6 +111,64 @@ class TestDuplicateArrivals:
         system.ingest(Increment(0, (make_profile(0, "alpha"),)))
         with pytest.raises(ValueError):
             system.ingest(Increment(1, (make_profile(0, "alpha"),)))
+
+
+class TestPipelinedStarvation:
+    """The pipelined engine's step-3 starvation path: forced ingests under
+    permanent back-pressure, idle-work exhaustion, and the budget clamp on
+    ingests that cannot start before the deadline."""
+
+    @pytest.mark.parametrize("factory", ALL_STRATEGIES)
+    def test_forced_ingest_escapes_livelock(self, factory, toy_dirty_dataset):
+        from repro.core.increments import split_into_increments
+
+        system = factory()
+        # Permanent back-pressure: the engine must force increments through
+        # (step 3) instead of livelocking on a system that never turns ready.
+        system.ready_for_ingest = lambda: False
+        increments = split_into_increments(toy_dirty_dataset, 3, seed=0)
+        plan = make_stream_plan(increments, rate=10.0)
+        engine = PipelinedStreamingEngine(make_matcher("JS"), budget=50.0)
+        result = engine.run(system, plan, toy_dirty_dataset.ground_truth)
+        counters = result.details["metrics"]["counters"]
+        assert counters["engine.forced_ingests"] == 3
+        assert result.increments_ingested == 3
+        assert result.work_exhausted
+        assert result.final_pc > 0.5
+
+    @pytest.mark.parametrize("factory", ALL_STRATEGIES)
+    def test_on_idle_exhaustion_terminates(self, factory, toy_dirty_dataset):
+        from repro.core.increments import split_into_increments
+
+        increments = split_into_increments(toy_dirty_dataset, 2, seed=0)
+        plan = make_stream_plan(increments, rate=100.0)  # stream over instantly
+        engine = PipelinedStreamingEngine(make_matcher("JS"), budget=200.0)
+        result = engine.run(factory(), plan, toy_dirty_dataset.ground_truth)
+        # Generous budget: the system drains its queue, exhausts any idle
+        # refill work, and the run ends work-exhausted inside the budget.
+        assert result.work_exhausted
+        assert result.clock_end < 200.0
+        assert result.final_pc > 0.5
+
+    @pytest.mark.parametrize("factory", ALL_STRATEGIES)
+    def test_ingest_past_budget_is_not_charged(self, factory, toy_dirty_dataset):
+        from repro.core.increments import split_into_increments
+
+        increments = split_into_increments(toy_dirty_dataset, 3, seed=0)
+        # Last arrival far beyond the budget: the engine must stop at the
+        # deadline instead of charging the ingest (and work derived from it).
+        plan = StreamPlan(
+            increments=tuple(increments), arrival_times=(0.0, 0.1, 500.0)
+        )
+        engine = PipelinedStreamingEngine(make_matcher("JS"), budget=2.0)
+        result = engine.run(factory(), plan, toy_dirty_dataset.ground_truth)
+        counters = result.details["metrics"]["counters"]
+        gauges = result.details["metrics"]["gauges"]
+        assert not result.work_exhausted
+        assert result.clock_end == 2.0
+        assert result.increments_ingested == 2
+        assert counters["engine.ingests_cut_by_deadline"] == 1
+        assert gauges["engine.ingest_clock_end"] <= 2.0
 
 
 class TestClockSanity:

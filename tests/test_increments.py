@@ -110,6 +110,43 @@ class TestStreamPlan:
         assert entries[0][0] == 0.0
         assert entries[1][0] == 1.0
 
+    def test_nan_time_rejected(self):
+        from repro.core.increments import StreamPlan
+
+        with pytest.raises(ValueError, match="finite"):
+            StreamPlan(increments=(Increment(0, ()),), arrival_times=(float("nan"),))
+
+    def test_infinite_time_rejected(self):
+        from repro.core.increments import StreamPlan
+
+        with pytest.raises(ValueError, match="finite"):
+            StreamPlan(increments=(Increment(0, ()),), arrival_times=(float("inf"),))
+
+    def test_negative_time_rejected(self):
+        from repro.core.increments import StreamPlan
+
+        with pytest.raises(ValueError, match="negative"):
+            StreamPlan(increments=(Increment(0, ()),), arrival_times=(-0.5,))
+
+    def test_duplicate_increment_ids_rejected(self):
+        from repro.core.increments import StreamPlan
+
+        with pytest.raises(ValueError, match="unique"):
+            StreamPlan(
+                increments=(Increment(0, ()), Increment(0, ())),
+                arrival_times=(0.0, 1.0),
+            )
+
+    def test_allow_redelivery_permits_duplicate_ids(self):
+        from repro.core.increments import StreamPlan
+
+        plan = StreamPlan(
+            increments=(Increment(0, ()), Increment(0, ())),
+            arrival_times=(0.0, 1.0),
+            allow_redelivery=True,
+        )
+        assert len(plan) == 2
+
 
 class TestIncrement:
     def test_is_empty(self):
