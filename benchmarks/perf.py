@@ -1,0 +1,239 @@
+"""Performance benchmark target: ``python -m benchmarks.perf``.
+
+Measures the two wall-clock optimizations that ride on the unified
+execution core and gates against regressions:
+
+* **batched matching** — ``matcher.evaluate_batch`` versus the scalar
+  pair-at-a-time loop on identical pair samples.  The batched kernel must
+  stay at least ``MIN_JS_SPEEDUP``× faster for JS (the cheap matcher, where
+  per-pair Python dispatch dominates) and must remain bit-identical (the
+  benchmark re-verifies similarity/cost equality on every run);
+* **slots** — per-instance memory of the slotted
+  :class:`~repro.priority.bounded_pq.BoundedPriorityQueue` versus a
+  ``__dict__``-backed replica, plus enqueue/dequeue throughput.  I-PES
+  allocates one queue per entity, so the footprint is a real lever.
+
+Unlike the smoke/chaos baselines, every recorded value here is wall-clock
+(host-dependent), so the checked-in ``BENCH_perf.json`` is refreshed only
+with ``--update``; a plain run gates on the *structure* of the payload
+(schema drift) and on the speedup/memory thresholds, never on absolute
+timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import random
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Sequence
+
+from repro.datasets.registry import load_dataset
+from repro.evaluation.experiments import make_matcher
+from repro.priority.bounded_pq import BoundedPriorityQueue
+
+from benchmarks.smoke import diff_schema
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_perf.json"
+
+CONFIG = {
+    "dataset": "dblp_acm",
+    "scale": 0.5,
+    "n_pairs": 4000,
+    "sample_seed": 17,
+    "matchers": ["JS", "ED"],
+    "repeats": 5,
+    "queue_instances": 20000,
+    "queue_ops": 50000,
+}
+
+#: The batched JS kernel must amortize at least this much per-pair dispatch.
+MIN_JS_SPEEDUP = 2.0
+
+
+class _DictBackedQueue:
+    """Layout replica of ``BoundedPriorityQueue`` without ``__slots__``.
+
+    Used purely to measure the per-instance memory the slots declaration
+    saves; it carries the same attributes with the same initial values.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self._max_heap: list = []
+        self._min_heap: list = []
+        self._size = 0
+        self._counter = itertools.count()
+        self.evictions = 0
+        self.rejections = 0
+
+
+def _sample_pairs(dataset, n: int, seed: int):
+    rng = random.Random(seed)
+    profiles = dataset.profiles
+    return [
+        (profiles[rng.randrange(len(profiles))], profiles[rng.randrange(len(profiles))])
+        for _ in range(n)
+    ]
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_matcher(name: str, pairs, repeats: int) -> dict:
+    # Warm any internal caches (the ED text cache) outside the timed region
+    # so both paths see identical cache state.
+    scalar_matcher = make_matcher(name)
+    batched_matcher = make_matcher(name)
+    scalar_results = [scalar_matcher.evaluate(x, y) for x, y in pairs]
+    batched_results = batched_matcher.evaluate_batch(pairs)
+    mismatches = sum(
+        1
+        for scalar, batched in zip(scalar_results, batched_results)
+        if scalar != batched
+    )
+    if mismatches:
+        raise AssertionError(
+            f"{name}: batched kernel diverged from scalar on {mismatches} pairs"
+        )
+
+    scalar_s = _best_of(repeats, lambda: [scalar_matcher.evaluate(x, y) for x, y in pairs])
+    batched_s = _best_of(repeats, lambda: batched_matcher.evaluate_batch(pairs))
+    return {
+        "pairs": len(pairs),
+        "scalar_wall_s": round(scalar_s, 6),
+        "batched_wall_s": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 3),
+        "bit_identical": True,
+    }
+
+
+def _instance_bytes(factory, n: int) -> float:
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    instances = [factory() for _ in range(n)]
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    total = sum(stat.size_diff for stat in after.compare_to(before, "filename"))
+    del instances
+    return total / n
+
+
+def _queue_throughput(ops: int, repeats: int) -> float:
+    keys = [random.Random(5).random() for _ in range(ops)]
+
+    def run() -> None:
+        queue: BoundedPriorityQueue[int] = BoundedPriorityQueue(capacity=1024)
+        for index, key in enumerate(keys):
+            queue.enqueue(index, key)
+        while queue:
+            queue.dequeue()
+
+    return ops / _best_of(repeats, run)
+
+
+def _bench_slots() -> dict:
+    slotted = _instance_bytes(BoundedPriorityQueue, CONFIG["queue_instances"])
+    dict_backed = _instance_bytes(_DictBackedQueue, CONFIG["queue_instances"])
+    return {
+        "instances_sampled": CONFIG["queue_instances"],
+        "bytes_per_instance_slots": round(slotted, 1),
+        "bytes_per_instance_dict": round(dict_backed, 1),
+        "bytes_saved_per_instance": round(dict_backed - slotted, 1),
+        "enqueue_dequeue_ops_per_s": round(
+            _queue_throughput(CONFIG["queue_ops"], CONFIG["repeats"]), 0
+        ),
+    }
+
+
+def build_snapshot() -> dict:
+    dataset = load_dataset(CONFIG["dataset"], scale=CONFIG["scale"])
+    pairs = _sample_pairs(dataset, CONFIG["n_pairs"], CONFIG["sample_seed"])
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "config": CONFIG,
+        "batched_matching": {
+            name: _bench_matcher(name, pairs, CONFIG["repeats"])
+            for name in CONFIG["matchers"]
+        },
+        "slots": _bench_slots(),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf",
+        description="measure batched-kernel speedup and slots memory savings",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_BASELINE,
+        help="baseline path (default: benchmarks/BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline with this host's measurements",
+    )
+    args = parser.parse_args(argv)
+
+    payload = build_snapshot()
+    for name, entry in payload["batched_matching"].items():
+        print(
+            f"{name}: scalar={entry['scalar_wall_s']:.4f}s "
+            f"batched={entry['batched_wall_s']:.4f}s "
+            f"speedup={entry['speedup']:.2f}x"
+        )
+    slots = payload["slots"]
+    print(
+        f"slots: {slots['bytes_per_instance_slots']:.0f} B/queue vs "
+        f"{slots['bytes_per_instance_dict']:.0f} B dict-backed "
+        f"(saves {slots['bytes_saved_per_instance']:.0f} B), "
+        f"{slots['enqueue_dequeue_ops_per_s']:.0f} queue ops/s"
+    )
+
+    failures = []
+    js_speedup = payload["batched_matching"]["JS"]["speedup"]
+    if js_speedup < MIN_JS_SPEEDUP:
+        failures.append(
+            f"JS batched speedup {js_speedup:.2f}x below the {MIN_JS_SPEEDUP}x gate"
+        )
+    if slots["bytes_saved_per_instance"] <= 0:
+        failures.append("slotted queue is not smaller than the dict-backed replica")
+
+    if args.out.exists() and not args.update:
+        baseline = json.loads(args.out.read_text())
+        removed, added = diff_schema(baseline, payload)
+        if removed or added:
+            print("\nperf-schema drift detected against", args.out)
+            for path in sorted(removed):
+                print(f"  - removed: {path}")
+            for path in sorted(added):
+                print(f"  + added:   {path}")
+            failures.append("schema drift (re-run with --update to accept)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+
+    if args.update or not args.out.exists():
+        args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {args.out}")
+    else:
+        print("\nperf gates passed (baseline untouched; use --update to refresh)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,11 @@ from repro.evaluation import (
     make_system,
     run_experiment,
 )
+
+# Imported after ``repro.evaluation``: resolving ``ExecutionCore`` pulls in
+# ``repro.execution.core``, which reaches back into the evaluation and
+# streaming packages — those must already be fully initialized.
+from repro.execution import ComparisonStore, ExecutionCore
 from repro.incremental import IBaseSystem
 from repro.matching import EditDistanceMatcher, JaccardMatcher, Matcher
 from repro.observability import MetricsRegistry
@@ -86,6 +91,8 @@ __all__ = [
     "PBSSystem",
     "PPSSystem",
     "PierSystem",
+    "ComparisonStore",
+    "ExecutionCore",
     "PipelinedStreamingEngine",
     "ResilienceConfig",
     "RetryPolicy",

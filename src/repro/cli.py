@@ -56,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="use the two-stage pipelined engine instead of the serial one",
         )
         sub.add_argument(
+            "--scalar-matching", action="store_true",
+            help="force pair-at-a-time matcher evaluation instead of the "
+                 "batched kernel (bit-identical results; for debugging and "
+                 "benchmarking)",
+        )
+        sub.add_argument(
             "--faults", type=int, default=None, metavar="SEED",
             help="inject seeded chaos: perturb the stream plan (drops, "
                  "redeliveries, reorders, bursts, corruption) and wrap the "
@@ -91,7 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _engine(args, matcher):
     cls = PipelinedStreamingEngine if args.pipelined else StreamingEngine
-    return cls(matcher, budget=args.budget, checkpoint_every=args.checkpoint_every)
+    return cls(
+        matcher,
+        budget=args.budget,
+        checkpoint_every=args.checkpoint_every,
+        batch_matching=not args.scalar_matching,
+    )
 
 
 def _run_one(args, dataset, algorithm: str):

@@ -24,6 +24,7 @@ from collections import deque
 from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlocking
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
+from repro.execution.store import ComparisonStore
 from repro.metablocking.weights import WeightingScheme
 from repro.pier.base import ComparisonGenerator
 from repro.streaming.system import EmitResult, ERSystem, PipelineCosts, PipelineStats
@@ -70,7 +71,7 @@ class IBaseSystem(ERSystem):
         self.chunk_size = chunk_size
         self.high_watermark = high_watermark
         self._fifo: deque[tuple[int, int]] = deque()
-        self._executed: set[tuple[int, int]] = set()
+        self.store = ComparisonStore()
 
     # ------------------------------------------------------------------
     def ingest(self, increment: Increment) -> float:
@@ -83,12 +84,14 @@ class IBaseSystem(ERSystem):
             self.metrics.count("strategy.weighting_ops", operations)
             # Within a profile, higher-weighted comparisons go first (the
             # order I-WNP produced); across profiles/increments it is FIFO.
+            # I-BASE commits comparisons at *enqueue* time: the executed-set
+            # claim happens here, so later re-generations of the same pair
+            # are dropped before they ever reach the FIFO.
             for weighted in sorted(kept, key=lambda c: -c.weight):
                 pair = weighted.pair
-                if pair in self._executed:
+                if not self.store.mark_executed(pair):
                     self.metrics.count("strategy.skipped_already_executed")
                     continue
-                self._executed.add(pair)
                 self._fifo.append(pair)
                 self.metrics.count("strategy.comparisons_enqueued")
                 cost += self.costs.per_enqueue
@@ -98,6 +101,7 @@ class IBaseSystem(ERSystem):
         batch = []
         while self._fifo and len(batch) < self.chunk_size:
             batch.append(self._fifo.popleft())
+        self.store.record_emission(len(batch))
         return EmitResult(batch=tuple(batch), cost=self.costs.per_round)
 
     def ready_for_ingest(self) -> bool:
@@ -126,18 +130,18 @@ class IBaseSystem(ERSystem):
 
     # -- checkpoint support ---------------------------------------------
     def snapshot(self) -> dict[str, object]:
-        """Blocking state, the FIFO backlog and the executed set — the
+        """Blocking state, the FIFO backlog and the comparison store — the
         generator and cost tables are pure configuration."""
         return {
             "blocker": copy.deepcopy(self.blocker),
             "fifo": list(self._fifo),
-            "executed": set(self._executed),
+            "store": self.store.snapshot_state(),
         }
 
     def restore(self, state: dict[str, object]) -> None:
         self.blocker = copy.deepcopy(state["blocker"])
         self._fifo = deque(state["fifo"])
-        self._executed = set(state["executed"])
+        self.store.restore_state(state["store"])
 
     def describe(self) -> dict[str, object]:
         return {

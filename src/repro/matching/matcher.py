@@ -14,8 +14,15 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass
 
+from typing import NamedTuple, Sequence
+
 from repro.core.profile import EntityProfile
-from repro.matching.similarity import jaccard, normalized_edit_similarity
+from repro.matching.similarity import (
+    dice_batch,
+    jaccard,
+    jaccard_batch,
+    normalized_edit_similarity,
+)
 from repro.observability.metrics import MetricsRegistry
 
 __all__ = ["CostModel", "Matcher", "JaccardMatcher", "EditDistanceMatcher", "MatchResult"]
@@ -37,9 +44,14 @@ class CostModel:
         return self.base + self.per_unit * units
 
 
-@dataclass(frozen=True, slots=True)
-class MatchResult:
-    """Outcome of evaluating one comparison."""
+class MatchResult(NamedTuple):
+    """Outcome of evaluating one comparison.
+
+    A ``NamedTuple`` rather than a frozen dataclass: results are constructed
+    once per comparison on the hottest path in the codebase, and tuple
+    construction avoids the per-field ``object.__setattr__`` cost while
+    keeping the record immutable and comparable.
+    """
 
     is_match: bool
     similarity: float
@@ -53,6 +65,14 @@ class Matcher:
     """
 
     name = "matcher"
+
+    #: Contract for the engines' batched kernel.  ``True`` promises that
+    #: :meth:`evaluate` is deterministic, never raises, and costs exactly
+    #: :meth:`estimate_cost` — the conditions under which an emission round
+    #: can be deadline-planned from estimates and evaluated as one batch,
+    #: bit-identical to the scalar path.  Wrappers that perturb evaluation
+    #: (fault injection, latency spikes) must leave this ``False``.
+    supports_batch: bool = False
 
     def __init__(self, threshold: float, cost_model: CostModel) -> None:
         if not 0.0 <= threshold <= 1.0:
@@ -91,6 +111,80 @@ class Matcher:
     def estimate_cost(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         """Cost of a comparison without executing it (used by schedulers)."""
         return self.cost_model.charge(self.work_units(profile_x, profile_y))
+
+    # -- batched kernel --------------------------------------------------
+    def estimate_cost_batch(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> list[float]:
+        """Vectorized :meth:`estimate_cost` (subclasses override the hot path)."""
+        return [self.estimate_cost(profile_x, profile_y) for profile_x, profile_y in pairs]
+
+    def evaluate_batch(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> list[MatchResult]:
+        """Classify many pairs at once, bit-identical to scalar :meth:`evaluate`.
+
+        Matchers without :attr:`supports_batch` simply loop (preserving any
+        side effects such as fault schedules).  Matchers with it route the
+        similarity/cost computation through their vectorized
+        :meth:`_batch_scores` kernel, while this wrapper keeps the per-pair
+        stats and metrics accounting in one place — deliberately updated in
+        scalar order, because ``total_cost`` and ``matcher.virtual_cost_s``
+        are float accumulations whose order is observable (mean cost feeds
+        the adaptive K).
+        """
+        if not self.supports_batch:
+            return [self.evaluate(profile_x, profile_y) for profile_x, profile_y in pairs]
+        threshold = self.threshold
+        metrics = self._metrics
+        similarities, costs = self._batch_scores(pairs)
+        if metrics is None:
+            # Unbound fast path: C-level construction, then stat folds.
+            # ``sum(costs, start)`` adds left-to-right from the previous
+            # total — the identical float operation sequence as the scalar
+            # per-pair ``self.total_cost += cost``, so accumulations stay
+            # bit-identical; the integer folds are exact regardless.
+            flags = [similarity >= threshold for similarity in similarities]
+            results = list(map(MatchResult._make, zip(flags, similarities, costs)))
+            self.comparisons_executed += len(results)
+            self.total_cost = sum(costs, self.total_cost)
+            self.matches_found += sum(flags)
+            return results
+        results = []
+        append = results.append
+        comparisons = self.comparisons_executed
+        total_cost = self.total_cost
+        matches = self.matches_found
+        for similarity, cost in zip(similarities, costs):
+            is_match = similarity >= threshold
+            comparisons += 1
+            total_cost += cost
+            if is_match:
+                matches += 1
+            # Per-pair counting (not one bulk add): the virtual-cost counter
+            # is a float accumulation whose order is observable.
+            metrics.count("matcher.evaluations")
+            metrics.count("matcher.virtual_cost_s", cost)
+            if is_match:
+                metrics.count("matcher.matches")
+            append(MatchResult(is_match, similarity, cost))
+        self.comparisons_executed = comparisons
+        self.total_cost = total_cost
+        self.matches_found = matches
+        return results
+
+    def _batch_scores(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> tuple[list[float], list[float]]:
+        """Parallel ``(similarities, costs)`` lists for a batch of pairs;
+        subclasses with :attr:`supports_batch` override this with a
+        vectorized kernel."""
+        similarities = []
+        costs = []
+        for profile_x, profile_y in pairs:
+            similarities.append(self.similarity(profile_x, profile_y))
+            costs.append(self.cost_model.charge(self.work_units(profile_x, profile_y)))
+        return similarities, costs
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Attach the engine's per-run registry; evaluation counters go there."""
@@ -137,6 +231,7 @@ class JaccardMatcher(Matcher):
     """
 
     name = "JS"
+    supports_batch = True
 
     def __init__(
         self,
@@ -150,6 +245,30 @@ class JaccardMatcher(Matcher):
 
     def work_units(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         return len(profile_x.tokens()) + len(profile_y.tokens())
+
+    def estimate_cost_batch(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> list[float]:
+        base = self.cost_model.base
+        per_unit = self.cost_model.per_unit
+        # Identical arithmetic to charge(work_units(x, y)) per pair.
+        return [
+            base + per_unit * (len(profile_x.tokens()) + len(profile_y.tokens()))
+            for profile_x, profile_y in pairs
+        ]
+
+    def _batch_scores(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> tuple[list[float], list[float]]:
+        token_pairs = [(profile_x.tokens(), profile_y.tokens()) for profile_x, profile_y in pairs]
+        similarities = jaccard_batch(token_pairs)
+        base = self.cost_model.base
+        per_unit = self.cost_model.per_unit
+        costs = [
+            base + per_unit * (len(tokens_x) + len(tokens_y))
+            for tokens_x, tokens_y in token_pairs
+        ]
+        return similarities, costs
 
 
 class EditDistanceMatcher(Matcher):
@@ -169,6 +288,7 @@ class EditDistanceMatcher(Matcher):
     """
 
     name = "ED"
+    supports_batch = True
 
     def __init__(
         self,
@@ -205,6 +325,41 @@ class EditDistanceMatcher(Matcher):
 
     def work_units(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         return float(profile_x.text_length()) * float(profile_y.text_length())
+
+    def estimate_cost_batch(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> list[float]:
+        base = self.cost_model.base
+        per_unit = self.cost_model.per_unit
+        return [
+            base + per_unit * (float(profile_x.text_length()) * float(profile_y.text_length()))
+            for profile_x, profile_y in pairs
+        ]
+
+    def _batch_scores(
+        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+    ) -> tuple[list[float], list[float]]:
+        prepared = self._prepared
+        texts = [(prepared(profile_x), prepared(profile_y)) for profile_x, profile_y in pairs]
+        overlaps = dice_batch(
+            [(bigrams_x, bigrams_y) for (_, bigrams_x), (_, bigrams_y) in texts]
+        )
+        floor = self.prefilter_floor
+        threshold = self.threshold
+        base = self.cost_model.base
+        per_unit = self.cost_model.per_unit
+        similarities: list[float] = []
+        append = similarities.append
+        for ((text_x, _), (text_y, _)), overlap in zip(texts, overlaps):
+            if overlap < floor:
+                append(min(overlap, floor))
+            else:
+                append(normalized_edit_similarity(text_x, text_y, min_similarity=threshold))
+        costs = [
+            base + per_unit * (float(profile_x.text_length()) * float(profile_y.text_length()))
+            for profile_x, profile_y in pairs
+        ]
+        return similarities, costs
 
 
 def _bigram_overlap(text_x: str, text_y: str) -> float:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-__all__ = ["SCHEMA_VERSION", "PhaseTotals", "RoundLog", "MetricsRegistry"]
+__all__ = ["SCHEMA_VERSION", "PhaseTotals", "PhaseTimer", "RoundLog", "MetricsRegistry"]
 
 #: Bump whenever the structure (not the values) of :meth:`snapshot` changes,
 #: and update ``docs/observability.md`` plus the checked-in BENCH baselines.
@@ -225,3 +225,8 @@ class _PhaseTimer:
 
     def __exit__(self, *exc_info: object) -> None:
         self._totals.add(self.virtual, time.perf_counter() - self._start)
+
+
+#: Public name for the phase-timer type: the execution core passes timers
+#: into its ingestion/matching helpers, so the type is part of its API.
+PhaseTimer = _PhaseTimer

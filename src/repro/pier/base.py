@@ -29,6 +29,7 @@ from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlockin
 from repro.core.comparison import WeightedComparison, canonical_pair
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
+from repro.execution.store import ComparisonStore
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 from repro.metablocking.wnp import incremental_wnp
 from repro.priority.rates import AdaptiveK
@@ -46,6 +47,8 @@ class ComparisonGenerator:
     together with the number of weighting operations performed (for cost
     accounting).
     """
+
+    __slots__ = ("beta", "scheme")
 
     def __init__(
         self,
@@ -87,6 +90,8 @@ class GetComparisons:
     Already-executed pairs are filtered out by the caller-supplied
     predicate, so revisits only pay for the genuinely new comparisons.
     """
+
+    __slots__ = ("scheme", "_drained_size", "_heap")
 
     def __init__(self, scheme: WeightingScheme | None = None) -> None:
         self.scheme = scheme or CommonBlocksScheme()
@@ -172,6 +177,15 @@ class IncrPrioritization:
 
     name = "incr-prioritization"
 
+    def bind_store(self, store: ComparisonStore) -> None:
+        """Attach the host system's shared :class:`ComparisonStore`.
+
+        Called once by :class:`PierSystem` before any ingestion.  Strategies
+        with their own dedup structures (the Bloom filter of I-PBS) rebind
+        them onto the store here so checkpoints serialize them exactly once;
+        the default is a no-op.
+        """
+
     def ingest_profiles(
         self,
         system: "PierSystem",
@@ -252,7 +266,8 @@ class PierSystem(ERSystem):
             costs=blocking_costs,
         )
         self.adaptive_k = adaptive_k or AdaptiveK()
-        self._executed: set[tuple[int, int]] = set()
+        self.store = ComparisonStore()
+        strategy.bind_store(self.store)
         self.name = f"PIER[{strategy.name}]"
 
     # ------------------------------------------------------------------
@@ -268,21 +283,22 @@ class PierSystem(ERSystem):
 
     def emit(self, stats: PipelineStats) -> EmitResult:
         budget = self._find_k(stats)
+        store = self.store
         batch: list[tuple[int, int]] = []
         stale = 0
         while len(batch) < budget:
             pair = self.strategy.dequeue()
             if pair is None:
                 break
-            if pair in self._executed:
+            if not store.mark_executed(pair):
                 stale += 1
                 continue
-            self._executed.add(pair)
             batch.append(pair)
         if batch:
             self.metrics.count("pier.comparisons_emitted", len(batch))
         if stale:
             self.metrics.count("pier.dequeued_already_executed", stale)
+        store.record_emission(len(batch), stale)
         cost = self.costs.per_round + self.costs.per_enqueue * len(batch)
         return EmitResult(batch=tuple(batch), cost=cost)
 
@@ -322,23 +338,31 @@ class PierSystem(ERSystem):
         return lambda pid: blocker.profile(pid).source != source
 
     def was_executed(self, pid_x: int, pid_y: int) -> bool:
-        return canonical_pair(pid_x, pid_y) in self._executed
+        return self.store.was_executed(pid_x, pid_y)
+
+    @property
+    def _executed(self) -> set[tuple[int, int]]:
+        """Back-compat view of the store's executed-set (tests peek at it)."""
+        return self.store.executed
 
     # -- checkpoint support ---------------------------------------------
     def snapshot(self) -> dict[str, object]:
-        """Blocking state, findK state, executed set, and the strategy's
-        ``CmpIndex`` — everything Algorithm 1 mutates during a run."""
+        """Blocking state, findK state, the shared comparison store, and the
+        strategy's ``CmpIndex`` — everything Algorithm 1 mutates during a
+        run."""
         return {
             "blocker": copy.deepcopy(self.blocker),
             "adaptive_k": copy.deepcopy(self.adaptive_k),
-            "executed": set(self._executed),
+            "store": self.store.snapshot_state(),
             "strategy": self.strategy.snapshot_state(),
         }
 
     def restore(self, state: dict[str, object]) -> None:
         self.blocker = copy.deepcopy(state["blocker"])
         self.adaptive_k = copy.deepcopy(state["adaptive_k"])
-        self._executed = set(state["executed"])
+        # In-place restore keeps the store's identity, so strategy-bound
+        # references (the I-PBS Bloom filter) stay valid.
+        self.store.restore_state(state["store"])
         self.strategy.restore_state(state["strategy"])
 
     def _find_k(self, stats: PipelineStats) -> int:
@@ -358,5 +382,5 @@ class PierSystem(ERSystem):
             "strategy": self.strategy.name,
             "k": self.adaptive_k.value,
             "blocks": len(self.collection),
-            "executed": len(self._executed),
+            "executed": len(self.store.executed),
         }

@@ -31,6 +31,7 @@ from typing import Iterable
 
 from repro.core.comparison import canonical_pair
 from repro.core.profile import EntityProfile
+from repro.execution.store import ComparisonStore
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 from repro.pier.base import IncrPrioritization, PierSystem
 from repro.priority.bloom import ScalableBloomFilter
@@ -54,10 +55,18 @@ class IPBS(IncrPrioritization):
         self.index: BoundedPriorityQueue[tuple[int, int]] = BoundedPriorityQueue(capacity)
         self.cardinality_index: dict[str, int] = {}
         self.profile_index: dict[str, set[int]] = {}
+        self.filter_initial_capacity = filter_initial_capacity
+        # Standalone default so the strategy works unbound (unit tests);
+        # bind_store replaces it with the host system's shared filter.
         self.comparison_filter = ScalableBloomFilter(initial_capacity=filter_initial_capacity)
         # Lazy min-heap over (pending_count, key); entries whose count is
         # stale are discarded on pop, keeping b_min selection O(log n).
         self._pending_heap: list[tuple[int, str]] = []
+
+    def bind_store(self, store: ComparisonStore) -> None:
+        # Share the store's Bloom filter: one dedup structure per system,
+        # serialized exactly once inside the store's snapshot.
+        self.comparison_filter = store.bloom_filter(self.filter_initial_capacity)
 
     # ------------------------------------------------------------------
     def ingest_profiles(self, system: PierSystem, profiles: Iterable[EntityProfile]) -> float:
@@ -194,13 +203,14 @@ class IPBS(IncrPrioritization):
 
     # -- checkpoint support ---------------------------------------------
     def snapshot_state(self) -> dict[str, object]:
-        # The Bloom filter goes through its own bit-exact serialization so
-        # restored runs reproduce the identical false-positive pattern.
+        # The Bloom filter is serialized by the comparison store it is bound
+        # to (bit-exactly, so restored runs reproduce the identical
+        # false-positive pattern); restoring it here as well would break the
+        # filter's shared identity.
         return {
             "index": copy.deepcopy(self.index),
             "cardinality_index": dict(self.cardinality_index),
             "profile_index": {key: set(pids) for key, pids in self.profile_index.items()},
-            "comparison_filter": self.comparison_filter.snapshot_state(),
             "pending_heap": list(self._pending_heap),
         }
 
@@ -208,5 +218,4 @@ class IPBS(IncrPrioritization):
         self.index = copy.deepcopy(state["index"])
         self.cardinality_index = dict(state["cardinality_index"])
         self.profile_index = {key: set(pids) for key, pids in state["profile_index"].items()}
-        self.comparison_filter.restore_state(state["comparison_filter"])
         self._pending_heap = list(state["pending_heap"])

@@ -79,6 +79,14 @@ class BoundedPriorityQueue(Generic[T]):
         Maximum number of live items; ``None`` means unbounded.
     """
 
+    # Hot allocation path: I-PES creates one queue per entity, so dropping
+    # the per-instance ``__dict__`` is a real memory win (measured by
+    # ``python -m benchmarks.perf``, section "slots").
+    __slots__ = (
+        "capacity", "_max_heap", "_min_heap", "_size", "_counter",
+        "evictions", "rejections",
+    )
+
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None)")

@@ -28,9 +28,9 @@ time bounded in the collapse regimes of Figures 2 and 7.
 from __future__ import annotations
 
 from repro.blocking.blocks import BlockCollection
-from repro.core.comparison import canonical_pair
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
+from repro.execution.store import ComparisonStore
 from repro.streaming.system import EmitResult, ERSystem, PipelineCosts, PipelineStats
 
 __all__ = ["BatchProgressiveSystem"]
@@ -62,7 +62,7 @@ class BatchProgressiveSystem(ERSystem):
         self.collection = BlockCollection(clean_clean=clean_clean, max_block_size=max_block_size)
         self._profiles: dict[int, EntityProfile] = {}
         self._dirty = False
-        self._executed: set[tuple[int, int]] = set()
+        self.store = ComparisonStore()
         self._pending_init_cost = 0.0
         self.initializations = 0
 
@@ -110,12 +110,12 @@ class BatchProgressiveSystem(ERSystem):
             self.metrics.count("batch.initialization_cost_s", cost)
             return EmitResult(batch=(), cost=cost)
         pairs, cost = self._next_pairs(self.chunk_size)
+        store = self.store
         fresh: list[tuple[int, int]] = []
         for pair in pairs:
-            if pair in self._executed:
-                continue
-            self._executed.add(pair)
-            fresh.append(pair)
+            if store.mark_executed(pair):
+                fresh.append(pair)
+        store.record_emission(len(fresh), len(pairs) - len(fresh))
         return EmitResult(batch=tuple(fresh), cost=cost + self.costs.per_round)
 
     def profile(self, pid: int) -> EntityProfile:
@@ -145,7 +145,7 @@ class BatchProgressiveSystem(ERSystem):
         return self._profiles[pid_x].source != self._profiles[pid_y].source
 
     def was_executed(self, pid_x: int, pid_y: int) -> bool:
-        return canonical_pair(pid_x, pid_y) in self._executed
+        return self.store.was_executed(pid_x, pid_y)
 
     def gauges(self) -> dict[str, float]:
         return {

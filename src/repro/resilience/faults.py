@@ -240,6 +240,12 @@ class FaultyMatcher(Matcher):
     state, so a resumed run replays the same fault schedule.
     """
 
+    #: Faults make evaluation impure (raises, cost != estimate), so the
+    #: engines must drive this wrapper through the scalar retry path; the
+    #: inherited ``evaluate_batch`` then loops ``evaluate`` and preserves
+    #: the call-sequenced fault schedule bit-exactly.
+    supports_batch = False
+
     def __init__(
         self,
         inner: Matcher,

@@ -1,4 +1,4 @@
-"""The discrete-event streaming engine.
+"""The serial discrete-event streaming engine.
 
 The engine drives one :class:`ERSystem` over a :class:`StreamPlan` on a
 *virtual clock*: every pipeline action (ingesting an increment, updating the
@@ -9,7 +9,11 @@ back-pressure on fast streams, initialization stalls of the batch
 adaptations, the adaptive budget of PIER — emerges deterministically and
 reproducibly from one loop, independent of the host machine.
 
-Loop structure per iteration:
+All policy-free machinery (budget clamping, retry/backoff, quarantine,
+load shedding, exactly-once dedup, checkpoint cadence, metrics, and the
+scalar/batched matching kernels) lives in
+:class:`~repro.execution.core.ExecutionCore`; this class contributes only
+the *serial* step-ordering policy, one loop iteration being:
 
 1. ingest every increment that has arrived by ``clock`` (subject to the
    system's back-pressure hook), charging ingestion costs;
@@ -19,509 +23,112 @@ Loop structure per iteration:
    "empty increment" trigger), or fast-forward to the next arrival, or stop
    when both the stream and the system are exhausted.
 
-Budget semantics: the budget is a hard deadline on the virtual clock.  A
-comparison whose (deterministic) cost would push the clock past the budget
-is *not* executed and *not* credited to the progress curve — the engine
-charges the remaining time as cut-off work and stops, so no point of the
-reported curve ever lies beyond the budget.
-
-Resilience semantics (see :mod:`repro.resilience`): increments are delivered
-exactly once (redeliveries deduplicated by id), transient matcher failures
-are retried with capped exponential backoff *charged to the virtual clock*,
-pathological pairs are quarantined instead of crashing the run, backlog
-beyond a watermark is shed, and the engine can checkpoint at a configurable
-cadence and resume from an :class:`~repro.resilience.checkpoint.EngineCheckpoint`
-with bit-identical virtual results.  All of this is off by default
-(:data:`~repro.resilience.retry.DEFAULT_RESILIENCE` changes nothing about a
-fault-free run).
-
-Every run is instrumented through a fresh
-:class:`~repro.observability.metrics.MetricsRegistry` (bound to the system
-and the matcher): named counters, per-phase virtual/wall timers and a
-bounded per-round gauge log, exported as ``details["metrics"]`` on the
-:class:`RunResult`.
+Because every stage charges the same clock, an expensive matcher delays
+ingestion (and vice versa) — the fully sequential execution model.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field, replace
-
-from repro.core.dataset import GroundTruth
-from repro.core.increments import StreamPlan
-from repro.evaluation.recorder import ProgressCurve, ProgressRecorder
-from repro.matching.matcher import Matcher
-from repro.observability.metrics import MetricsRegistry, _PhaseTimer
-from repro.priority.rates import RateEstimator
-from repro.resilience.checkpoint import EngineCheckpoint, SimulatedCrash, plan_token
-from repro.resilience.faults import TransientMatcherError
-from repro.resilience.retry import DEFAULT_RESILIENCE, ResilienceConfig
-from repro.streaming.system import ERSystem, PipelineStats
+from repro.execution.core import PRESEEDED_COUNTERS, ExecutionCore, RunResult, RunState
 
 __all__ = ["RunResult", "StreamingEngine"]
 
-#: Counters every run exports even when they stay zero, so dashboards and
-#: schema gates see the resilience surface on healthy runs too.
-_PRESEEDED_COUNTERS = (
-    "engine.retries",
-    "engine.quarantined_pairs",
-    "engine.shed_increments",
-)
+# Backwards-compatible alias (the preseed list moved into the core, which
+# seeds it identically for every engine).
+_PRESEEDED_COUNTERS = PRESEEDED_COUNTERS
 
 
-@dataclass(frozen=True, slots=True)
-class RunResult:
-    """Outcome of one simulated run."""
+class StreamingEngine(ExecutionCore):
+    """Runs ER systems against stream plans on one shared virtual clock.
 
-    system_name: str
-    matcher_name: str
-    curve: ProgressCurve
-    duplicates: frozenset[tuple[int, int]]
-    comparisons_executed: int
-    clock_end: float
-    budget: float
-    stream_consumed_at: float | None     # when the last increment was ingested
-    work_exhausted: bool                 # system + stream fully drained
-    increments_ingested: int
-    match_events: tuple[tuple[float, tuple[int, int]], ...] = ()
-    details: dict[str, object] = field(default_factory=dict)
-
-    @property
-    def final_pc(self) -> float:
-        return self.curve.final_pc
-
-
-def _execute_batch(
-    *,
-    batch: tuple[tuple[int, int], ...],
-    system: ERSystem,
-    matcher: Matcher,
-    recorder: ProgressRecorder,
-    duplicates: set[tuple[int, int]],
-    quarantined: set[tuple[int, int]],
-    metrics: MetricsRegistry,
-    match_timer: _PhaseTimer,
-    clock: float,
-    budget: float,
-    resilience: ResilienceConfig,
-) -> tuple[float, bool]:
-    """Execute one emission batch under deadline/retry/quarantine rules.
-
-    Shared by both engines so the budget-boundary semantics stay pinned in
-    exactly one place.  Returns ``(clock, deadline_cut)``; the clock never
-    exceeds ``budget`` on return.
-    """
-    retry = resilience.retry
-    ceiling = resilience.cost_ceiling
-    deadline_cut = False
-    for position, (pid_x, pid_y) in enumerate(batch):
-        profile_x = system.profile(pid_x)
-        profile_y = system.profile(pid_y)
-        cost = matcher.estimate_cost(profile_x, profile_y)
-        if ceiling is not None and cost > ceiling:
-            # Pathological pair: estimated cost alone busts the ceiling.
-            # Quarantine (count, never execute) instead of starving the run.
-            quarantined.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-            metrics.count("engine.quarantined_pairs")
-            continue
-        if clock + cost > budget:
-            # The comparison cannot finish by the deadline: charge the
-            # cut-off time, credit nothing.
-            metrics.count("engine.comparisons_cut_by_deadline", len(batch) - position)
-            match_timer.virtual += budget - clock
-            clock = budget
-            deadline_cut = True
-            break
-        result = None
-        for attempt in range(1, retry.max_attempts + 1):
-            try:
-                result = matcher.evaluate(profile_x, profile_y)
-                break
-            except TransientMatcherError as fault:
-                wasted = min(max(fault.cost, 0.0), budget - clock)
-                clock += wasted
-                match_timer.virtual += wasted
-                metrics.count("engine.matcher_faults")
-                if clock >= budget:
-                    metrics.count(
-                        "engine.comparisons_cut_by_deadline", len(batch) - position
-                    )
-                    deadline_cut = True
-                    break
-                if attempt == retry.max_attempts:
-                    quarantined.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-                    metrics.count("engine.quarantined_pairs")
-                    break
-                backoff = min(retry.backoff(attempt), budget - clock)
-                clock += backoff
-                match_timer.virtual += backoff
-                metrics.count("engine.retries")
-                metrics.count("engine.retry_backoff_s", backoff)
-                if clock >= budget:
-                    metrics.count(
-                        "engine.comparisons_cut_by_deadline", len(batch) - position
-                    )
-                    deadline_cut = True
-                    break
-        if deadline_cut:
-            break
-        if result is None:
-            continue  # quarantined after exhausting its retry attempts
-        clock += result.cost
-        match_timer.virtual += result.cost
-        if clock > budget:
-            # The actual cost overshot the estimate (latency spike): the
-            # comparison did not finish by the deadline, so it is not
-            # credited and the overshoot is not charged.
-            match_timer.virtual -= clock - budget
-            clock = budget
-            metrics.count("engine.comparisons_cut_by_deadline", len(batch) - position)
-            deadline_cut = True
-            break
-        metrics.count("engine.comparisons_executed")
-        if recorder.record(pid_x, pid_y, clock):
-            metrics.count("engine.matches_recorded")
-        if result.is_match:
-            duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
-        if clock >= budget:
-            break
-    return clock, deadline_cut
-
-
-class StreamingEngine:
-    """Runs ER systems against stream plans under a virtual time budget.
-
-    Parameters
-    ----------
-    matcher / budget / match_cost_prior / sample_every:
-        As before: the match function, the virtual-time budget, the prior
-        mean comparison cost, and the progress-curve sampling stride.
-    resilience:
-        Fault-tolerance knobs (retry, quarantine, shedding, checkpointing);
-        the default changes nothing about a fault-free run.
-    checkpoint_every:
-        Convenience override for ``resilience.checkpoint_every``.
+    See :class:`~repro.execution.core.ExecutionCore` for the constructor
+    parameters (matcher, budget, resilience, batch_matching, ...).
     """
 
     _KIND = "serial"
-
-    def __init__(
-        self,
-        matcher: Matcher,
-        budget: float,
-        match_cost_prior: float = 1e-4,
-        sample_every: int = 64,
-        resilience: ResilienceConfig | None = None,
-        checkpoint_every: float | None = None,
-    ) -> None:
-        if budget <= 0:
-            raise ValueError("budget must be positive")
-        self.matcher = matcher
-        self.budget = budget
-        self.match_cost_prior = match_cost_prior
-        self.sample_every = sample_every
-        resilience = resilience or DEFAULT_RESILIENCE
-        if checkpoint_every is not None:
-            resilience = replace(resilience, checkpoint_every=checkpoint_every)
-        self.resilience = resilience
-        #: Latest checkpoint of the most recent run (``None`` before any).
-        self.last_checkpoint: EngineCheckpoint | None = None
+    _TRACKS_INGEST_CLOCK = False
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        system: ERSystem,
-        plan: StreamPlan,
-        ground_truth: GroundTruth,
-        resume_from: EngineCheckpoint | None = None,
-    ) -> RunResult:
-        """Simulate ``system`` over ``plan`` and return its progress curve.
+    def _drive(self, state: RunState) -> None:
+        system = state.system
+        metrics = state.metrics
+        arrival_times = state.arrival_times
+        budget = self.budget
 
-        With ``resume_from``, the engine restores every component from the
-        checkpoint and continues the run from its consistent cut; the
-        completed run is then bit-identical (curve, duplicates, counters)
-        to one that was never interrupted.
-        """
-        matcher = self.matcher
-        resilience = self.resilience
-        matcher.reset_stats()
-        metrics = MetricsRegistry()
-        system.bind_metrics(metrics)
-        matcher.bind_metrics(metrics)
-        recorder = ProgressRecorder(ground_truth, sample_every=self.sample_every)
-        arrival_estimator = RateEstimator()
-        duplicates: set[tuple[int, int]] = set()
-        quarantined: set[tuple[int, int]] = set()
-        seen_increments: set[int] = set()
-
-        arrival_times = plan.arrival_times
-        increments = plan.increments
-        n_arrivals = len(plan)
-        plan_fingerprint = plan_token(plan)
-        next_arrival = 0
-        clock = arrival_times[0] if n_arrivals else 0.0
-        consumed_at: float | None = None if n_arrivals else 0.0
-        work_exhausted = False
-        rounds = 0
-        ingested = 0
-        shed = 0
-        duplicates_dropped = 0
-
-        if resume_from is not None:
-            self._check_resumable(resume_from, plan_fingerprint)
-            metrics.load_state(resume_from.metrics_state)
-            system.restore(resume_from.system_state)
-            matcher.restore_state(resume_from.matcher_state)
-            recorder.restore_state(resume_from.recorder_state)
-            arrival_estimator.restore_state(resume_from.estimator_state)
-            duplicates = set(resume_from.duplicates)
-            quarantined = set(resume_from.quarantined)
-            seen_increments = set(resume_from.seen_increments)
-            next_arrival = resume_from.next_arrival
-            clock = resume_from.clock
-            consumed_at = resume_from.consumed_at
-            rounds = resume_from.rounds
-            ingested = resume_from.ingested
-            shed = resume_from.shed
-            duplicates_dropped = resume_from.duplicates_dropped
-            self.last_checkpoint = resume_from
-        for name in _PRESEEDED_COUNTERS:
-            metrics.count(name, 0)
-        last_checkpoint_clock = clock
-
-        while clock < self.budget:
+        while state.clock < budget:
             # -- 0. resilience bookkeeping at the loop-top cut ----------
-            if (
-                resilience.checkpoint_every is not None
-                and clock - last_checkpoint_clock >= resilience.checkpoint_every
-            ):
-                metrics.count("engine.checkpoints_taken")
-                self.last_checkpoint = EngineCheckpoint(
-                    engine=self._KIND,
-                    budget=self.budget,
-                    plan_fingerprint=plan_fingerprint,
-                    clock=clock,
-                    ingest_clock=None,
-                    next_arrival=next_arrival,
-                    consumed_at=consumed_at,
-                    rounds=rounds,
-                    ingested=ingested,
-                    shed=shed,
-                    duplicates_dropped=duplicates_dropped,
-                    seen_increments=frozenset(seen_increments),
-                    duplicates=frozenset(duplicates),
-                    quarantined=frozenset(quarantined),
-                    system_state=system.snapshot(),
-                    matcher_state=matcher.snapshot_state(),
-                    recorder_state=recorder.snapshot_state(),
-                    estimator_state=arrival_estimator.snapshot_state(),
-                    metrics_state=metrics.dump_state(),
-                )
-                last_checkpoint_clock = clock
-            if resilience.crash_at is not None and clock >= resilience.crash_at:
-                raise SimulatedCrash(self.last_checkpoint, clock)
-            if resilience.shed_watermark is not None:
-                due = bisect.bisect_right(arrival_times, clock, next_arrival)
-                excess = (due - next_arrival) - resilience.shed_watermark
-                while excess > 0:
-                    # Overload: drop the oldest due increments outright.  A
-                    # later redelivery of the same id may still be ingested.
-                    metrics.count("engine.shed_increments")
-                    shed += 1
-                    next_arrival += 1
-                    excess -= 1
-                    if next_arrival == n_arrivals:
-                        consumed_at = clock
+            self._loop_top(state)
 
             # -- 1. ingest all due increments ---------------------------
             ingested_now = False
             with metrics.time_phase("ingest") as ingest_timer:
                 while (
-                    next_arrival < n_arrivals
-                    and arrival_times[next_arrival] <= clock
+                    state.next_arrival < state.n_arrivals
+                    and arrival_times[state.next_arrival] <= state.clock
                     and system.ready_for_ingest()
                 ):
-                    increment = increments[next_arrival]
-                    if increment.index in seen_increments:
-                        metrics.count("engine.duplicate_increments_dropped")
-                        duplicates_dropped += 1
-                        next_arrival += 1
+                    if state.increments[state.next_arrival].index in state.seen_increments:
+                        self._drop_redelivered(state, state.clock)
                         ingested_now = True
-                        if next_arrival == n_arrivals:
-                            consumed_at = clock
                         continue
-                    seen_increments.add(increment.index)
-                    arrival_estimator.record(arrival_times[next_arrival])
-                    cost = system.ingest(increment)
-                    clock += cost
-                    ingest_timer.virtual += cost
-                    metrics.count("engine.increments_ingested")
-                    ingested += 1
-                    next_arrival += 1
+                    self._ingest_one(state, ingest_timer)
                     ingested_now = True
-                    if next_arrival == n_arrivals:
-                        consumed_at = clock
-                    if clock >= self.budget:
+                    if state.clock >= budget:
                         break
-            if clock >= self.budget:
+            if state.clock >= budget:
                 break
 
             # -- 2. one emission round ----------------------------------
-            stats = self._stats(clock, arrival_estimator, self._backlog(plan, next_arrival, clock))
+            stats = self._pipeline_stats(state)
             with metrics.time_phase("emit") as emit_timer:
                 emit = system.emit(stats)
-                clock += emit.cost
+                state.clock += emit.cost
                 emit_timer.virtual += emit.cost
-            rounds += 1
+            state.rounds += 1
             metrics.count("engine.emission_rounds")
-            executed_before = recorder.comparisons_executed
+            executed_before = state.recorder.comparisons_executed
             if emit.batch:
                 with metrics.time_phase("match") as match_timer:
-                    clock, _ = _execute_batch(
-                        batch=emit.batch,
-                        system=system,
-                        matcher=matcher,
-                        recorder=recorder,
-                        duplicates=duplicates,
-                        quarantined=quarantined,
-                        metrics=metrics,
-                        match_timer=match_timer,
-                        clock=clock,
-                        budget=self.budget,
-                        resilience=resilience,
-                    )
+                    self._execute_emission(state, emit.batch, match_timer)
                 self._record_round(
-                    metrics, system, stats, rounds, clock,
+                    state, stats,
                     emitted=len(emit.batch),
-                    executed=recorder.comparisons_executed - executed_before,
+                    executed=state.recorder.comparisons_executed - executed_before,
                 )
                 continue
-            self._record_round(metrics, system, stats, rounds, clock, emitted=0, executed=0)
-            if ingested_now or clock >= self.budget:
+            self._record_round(state, stats, emitted=0, executed=0)
+            if ingested_now or state.clock >= budget:
                 continue
 
             # -- 3. nothing emitted: idle handling ----------------------
-            if next_arrival < n_arrivals and arrival_times[next_arrival] <= clock:
+            if state.next_arrival < state.n_arrivals and arrival_times[state.next_arrival] <= state.clock:
                 # Back-pressure refused ingestion but there is no work
                 # either: force-feed one increment to avoid a livelock.
-                increment = increments[next_arrival]
-                if increment.index in seen_increments:
-                    metrics.count("engine.duplicate_increments_dropped")
-                    duplicates_dropped += 1
-                    next_arrival += 1
-                    if next_arrival == n_arrivals:
-                        consumed_at = clock
+                if state.increments[state.next_arrival].index in state.seen_increments:
+                    self._drop_redelivered(state, state.clock)
                     continue
                 with metrics.time_phase("ingest") as ingest_timer:
-                    seen_increments.add(increment.index)
-                    arrival_estimator.record(arrival_times[next_arrival])
-                    cost = system.ingest(increment)
-                    clock += cost
-                    ingest_timer.virtual += cost
-                    metrics.count("engine.increments_ingested")
-                    metrics.count("engine.forced_ingests")
-                    ingested += 1
-                    next_arrival += 1
-                    if next_arrival == n_arrivals:
-                        consumed_at = clock
+                    self._ingest_one(state, ingest_timer, forced=True)
                 continue
             with metrics.time_phase("idle") as idle_timer:
-                idle_cost = system.on_idle(
-                    self._stats(clock, arrival_estimator, self._backlog(plan, next_arrival, clock))
-                )
+                idle_cost = system.on_idle(self._pipeline_stats(state))
                 if idle_cost is not None:
-                    clock += idle_cost
+                    state.clock += idle_cost
                     idle_timer.virtual += idle_cost
             if idle_cost is not None:
                 metrics.count("engine.idle_rounds")
                 continue
-            if next_arrival < n_arrivals:
-                gap = arrival_times[next_arrival] - clock
-                clock = arrival_times[next_arrival]  # sleep until next arrival
+            if state.next_arrival < state.n_arrivals:
+                gap = arrival_times[state.next_arrival] - state.clock
+                state.clock = arrival_times[state.next_arrival]  # sleep until next arrival
                 metrics.count("engine.fast_forwards")
                 metrics.phase("sleep").add(gap)
                 continue
-            work_exhausted = True
+            state.work_exhausted = True
             break
 
-        final_clock = min(clock, self.budget) if not work_exhausted else clock
-        recorder.mark(final_clock)
-        metrics.gauge("engine.clock_end", final_clock)
-        metrics.gauge("engine.budget", self.budget)
-        details = dict(system.describe())
-        details["resilience"] = {
-            "retries": metrics.counter("engine.retries"),
-            "quarantined_pairs": tuple(sorted(quarantined)),
-            "shed_increments": shed,
-            "duplicate_increments_dropped": duplicates_dropped,
-            "checkpoints_taken": metrics.counter("engine.checkpoints_taken"),
-        }
-        details["metrics"] = metrics.snapshot()
-        return RunResult(
-            system_name=system.name,
-            matcher_name=matcher.name,
-            curve=recorder.curve(),
-            duplicates=frozenset(duplicates),
-            comparisons_executed=recorder.comparisons_executed,
-            clock_end=final_clock,
-            budget=self.budget,
-            stream_consumed_at=consumed_at,
-            work_exhausted=work_exhausted,
-            increments_ingested=ingested,
-            match_events=recorder.match_events(),
-            details=details,
-        )
-
     # ------------------------------------------------------------------
-    def _check_resumable(self, checkpoint: EngineCheckpoint, plan_fingerprint: int) -> None:
-        """Refuse resumes that would silently corrupt the run."""
-        if checkpoint.engine != self._KIND:
-            raise ValueError(
-                f"checkpoint was taken by a {checkpoint.engine!r} engine, "
-                f"cannot resume on {self._KIND!r}"
-            )
-        if checkpoint.budget != self.budget:
-            raise ValueError(
-                f"checkpoint budget {checkpoint.budget} does not match "
-                f"engine budget {self.budget}"
-            )
-        if checkpoint.plan_fingerprint != plan_fingerprint:
-            raise ValueError("checkpoint was taken against a different stream plan")
-
-    @staticmethod
-    def _backlog(plan: StreamPlan, next_arrival: int, clock: float) -> int:
-        """Increments that have arrived by ``clock`` but are not yet ingested."""
-        due = bisect.bisect_right(plan.arrival_times, clock, next_arrival)
-        return due - next_arrival
-
-    @staticmethod
-    def _record_round(
-        metrics: MetricsRegistry,
-        system: ERSystem,
-        stats: PipelineStats,
-        round_index: int,
-        clock: float,
-        emitted: int,
-        executed: int,
-    ) -> None:
-        metrics.record_round(
-            round=round_index,
-            clock=clock,
-            backlog=stats.backlog,
-            input_rate=stats.input_rate,
-            emitted=emitted,
-            executed=executed,
-            **system.gauges(),
-        )
-
-    def _stats(
-        self, clock: float, arrival_estimator: RateEstimator, backlog: int
-    ) -> PipelineStats:
-        mean_cost = self.matcher.mean_cost or self.match_cost_prior
-        return PipelineStats(
-            now=clock,
-            input_rate=arrival_estimator.rate_at(clock),
-            mean_match_cost=mean_cost,
-            backlog=backlog,
-            remaining_budget=self.budget - clock,
-        )
+    def _advance_ingest(self, state: RunState, arrival: float, cost: float) -> float:
+        # Serial policy: ingestion charges the one shared clock.
+        state.clock += cost
+        return state.clock

@@ -27,310 +27,119 @@ deadline for *both* clocks: an ingest that cannot start before the deadline
 is not performed (the run ends budget-bound), and the reported
 ``engine.ingest_clock_end`` gauge never exceeds the budget.
 
-Resilience semantics (exactly-once increments, matcher retry with backoff,
-cost-ceiling quarantine, load shedding, checkpoint/restore) are shared with
-the serial engine — see :mod:`repro.resilience` and
-:func:`repro.streaming.engine._execute_batch`.
+All policy-free machinery (budget clamping, retry/backoff, quarantine,
+load shedding, exactly-once dedup, checkpoint/restore, metrics, and the
+scalar/batched matching kernels) is inherited from
+:class:`~repro.execution.core.ExecutionCore`; this class contributes only
+the two-clock step-ordering policy.
 """
 
 from __future__ import annotations
 
-import bisect
-
-from repro.core.dataset import GroundTruth
-from repro.core.increments import StreamPlan
-from repro.evaluation.recorder import ProgressRecorder
-from repro.matching.matcher import Matcher
-from repro.observability.metrics import MetricsRegistry
-from repro.priority.rates import RateEstimator
-from repro.resilience.checkpoint import EngineCheckpoint, SimulatedCrash, plan_token
-from repro.resilience.retry import DEFAULT_RESILIENCE, ResilienceConfig
-from repro.streaming.engine import (
-    _PRESEEDED_COUNTERS,
-    RunResult,
-    StreamingEngine,
-    _execute_batch,
-)
-from repro.streaming.system import ERSystem, PipelineStats
+from repro.execution.core import ExecutionCore, RunResult, RunState
+from repro.streaming.engine import StreamingEngine  # noqa: F401  (re-export convenience)
 
 __all__ = ["PipelinedStreamingEngine"]
 
 
-class PipelinedStreamingEngine:
-    """Runs an :class:`ERSystem` with concurrent ingest and match stages."""
+class PipelinedStreamingEngine(ExecutionCore):
+    """Runs an :class:`ERSystem` with concurrent ingest and match stages.
+
+    See :class:`~repro.execution.core.ExecutionCore` for the constructor
+    parameters (matcher, budget, resilience, batch_matching, ...).
+    """
 
     _KIND = "pipelined"
-
-    def __init__(
-        self,
-        matcher: Matcher,
-        budget: float,
-        match_cost_prior: float = 1e-4,
-        sample_every: int = 64,
-        resilience: ResilienceConfig | None = None,
-        checkpoint_every: float | None = None,
-    ) -> None:
-        if budget <= 0:
-            raise ValueError("budget must be positive")
-        self.matcher = matcher
-        self.budget = budget
-        self.match_cost_prior = match_cost_prior
-        self.sample_every = sample_every
-        resilience = resilience or DEFAULT_RESILIENCE
-        if checkpoint_every is not None:
-            from dataclasses import replace
-
-            resilience = replace(resilience, checkpoint_every=checkpoint_every)
-        self.resilience = resilience
-        self.last_checkpoint: EngineCheckpoint | None = None
-
-    # Same validation rules as the serial engine (kind/budget/plan match).
-    _check_resumable = StreamingEngine._check_resumable
+    _TRACKS_INGEST_CLOCK = True
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        system: ERSystem,
-        plan: StreamPlan,
-        ground_truth: GroundTruth,
-        resume_from: EngineCheckpoint | None = None,
-    ) -> RunResult:
-        matcher = self.matcher
-        resilience = self.resilience
-        matcher.reset_stats()
-        metrics = MetricsRegistry()
-        system.bind_metrics(metrics)
-        matcher.bind_metrics(metrics)
-        recorder = ProgressRecorder(ground_truth, sample_every=self.sample_every)
-        arrival_estimator = RateEstimator()
-        duplicates: set[tuple[int, int]] = set()
-        quarantined: set[tuple[int, int]] = set()
-        seen_increments: set[int] = set()
+    def _drive(self, state: RunState) -> None:
+        system = state.system
+        metrics = state.metrics
+        arrival_times = state.arrival_times
+        budget = self.budget
 
-        arrival_times = plan.arrival_times
-        increments = plan.increments
-        n_arrivals = len(plan)
-        plan_fingerprint = plan_token(plan)
-        next_arrival = 0
-        ingest_clock = arrival_times[0] if n_arrivals else 0.0
-        match_clock = ingest_clock
-        consumed_at: float | None = None if n_arrivals else 0.0
-        work_exhausted = False
-        rounds = 0
-        ingested = 0
-        shed = 0
-        duplicates_dropped = 0
-
-        if resume_from is not None:
-            self._check_resumable(resume_from, plan_fingerprint)
-            metrics.load_state(resume_from.metrics_state)
-            system.restore(resume_from.system_state)
-            matcher.restore_state(resume_from.matcher_state)
-            recorder.restore_state(resume_from.recorder_state)
-            arrival_estimator.restore_state(resume_from.estimator_state)
-            duplicates = set(resume_from.duplicates)
-            quarantined = set(resume_from.quarantined)
-            seen_increments = set(resume_from.seen_increments)
-            next_arrival = resume_from.next_arrival
-            ingest_clock = resume_from.ingest_clock
-            match_clock = resume_from.clock
-            consumed_at = resume_from.consumed_at
-            rounds = resume_from.rounds
-            ingested = resume_from.ingested
-            shed = resume_from.shed
-            duplicates_dropped = resume_from.duplicates_dropped
-            self.last_checkpoint = resume_from
-        for name in _PRESEEDED_COUNTERS:
-            metrics.count(name, 0)
-        last_checkpoint_clock = match_clock
-
-        def ingest_next(forced: bool = False) -> None:
-            """Consume the next arrival (dropping exactly-once redeliveries)."""
-            nonlocal ingest_clock, next_arrival, consumed_at, ingested, duplicates_dropped
-            increment = increments[next_arrival]
-            if increment.index in seen_increments:
-                metrics.count("engine.duplicate_increments_dropped")
-                duplicates_dropped += 1
-                next_arrival += 1
-                if next_arrival == n_arrivals:
-                    consumed_at = ingest_clock
-                return
-            with metrics.time_phase("ingest") as timer:
-                start = max(arrival_times[next_arrival], ingest_clock)
-                seen_increments.add(increment.index)
-                arrival_estimator.record(arrival_times[next_arrival])
-                cost = system.ingest(increment)
-                ingest_clock = start + cost
-                timer.virtual += cost
-            metrics.count("engine.increments_ingested")
-            ingested += 1
-            if forced:
-                metrics.count("engine.forced_ingests")
-            next_arrival += 1
-            if next_arrival == n_arrivals:
-                consumed_at = ingest_clock
-
-        def backlog() -> int:
-            due = bisect.bisect_right(arrival_times, match_clock, next_arrival)
-            return due - next_arrival
-
-        while match_clock < self.budget:
+        while state.clock < budget:
             # -- 0. resilience bookkeeping at the loop-top cut -----------
-            if (
-                resilience.checkpoint_every is not None
-                and match_clock - last_checkpoint_clock >= resilience.checkpoint_every
-            ):
-                metrics.count("engine.checkpoints_taken")
-                self.last_checkpoint = EngineCheckpoint(
-                    engine=self._KIND,
-                    budget=self.budget,
-                    plan_fingerprint=plan_fingerprint,
-                    clock=match_clock,
-                    ingest_clock=ingest_clock,
-                    next_arrival=next_arrival,
-                    consumed_at=consumed_at,
-                    rounds=rounds,
-                    ingested=ingested,
-                    shed=shed,
-                    duplicates_dropped=duplicates_dropped,
-                    seen_increments=frozenset(seen_increments),
-                    duplicates=frozenset(duplicates),
-                    quarantined=frozenset(quarantined),
-                    system_state=system.snapshot(),
-                    matcher_state=matcher.snapshot_state(),
-                    recorder_state=recorder.snapshot_state(),
-                    estimator_state=arrival_estimator.snapshot_state(),
-                    metrics_state=metrics.dump_state(),
-                )
-                last_checkpoint_clock = match_clock
-            if resilience.crash_at is not None and match_clock >= resilience.crash_at:
-                raise SimulatedCrash(self.last_checkpoint, match_clock)
-            if resilience.shed_watermark is not None:
-                excess = backlog() - resilience.shed_watermark
-                while excess > 0:
-                    metrics.count("engine.shed_increments")
-                    shed += 1
-                    next_arrival += 1
-                    excess -= 1
-                    if next_arrival == n_arrivals:
-                        consumed_at = match_clock
+            self._loop_top(state)
 
             # -- 1. catch the ingest stage up to the match clock ---------
             while (
-                next_arrival < n_arrivals
-                and max(arrival_times[next_arrival], ingest_clock) <= match_clock
+                state.next_arrival < state.n_arrivals
+                and max(arrival_times[state.next_arrival], state.ingest_clock) <= state.clock
                 and system.ready_for_ingest()
-                and ingest_clock < self.budget
+                and state.ingest_clock < budget
             ):
-                ingest_next()
+                self._ingest_step(state)
 
             # -- 2. one emission round on the match clock ----------------
             if system.has_pending_comparisons():
-                stats = self._stats(match_clock, arrival_estimator, backlog())
+                stats = self._pipeline_stats(state)
                 with metrics.time_phase("emit") as emit_timer:
                     emit = system.emit(stats)
-                    match_clock += emit.cost
+                    state.clock += emit.cost
                     emit_timer.virtual += emit.cost
-                rounds += 1
+                state.rounds += 1
                 metrics.count("engine.emission_rounds")
-                executed_before = recorder.comparisons_executed
-                clock_before = match_clock
+                executed_before = state.recorder.comparisons_executed
+                clock_before = state.clock
                 with metrics.time_phase("match") as match_timer:
-                    match_clock, deadline_cut = _execute_batch(
-                        batch=emit.batch,
-                        system=system,
-                        matcher=matcher,
-                        recorder=recorder,
-                        duplicates=duplicates,
-                        quarantined=quarantined,
-                        metrics=metrics,
-                        match_timer=match_timer,
-                        clock=match_clock,
-                        budget=self.budget,
-                        resilience=resilience,
-                    )
-                executed = recorder.comparisons_executed - executed_before
-                StreamingEngine._record_round(
-                    metrics, system, stats, rounds, match_clock,
-                    emitted=len(emit.batch), executed=executed,
-                )
-                if executed or deadline_cut or emit.cost > 0 or match_clock > clock_before:
+                    deadline_cut = self._execute_emission(state, emit.batch, match_timer)
+                executed = state.recorder.comparisons_executed - executed_before
+                self._record_round(state, stats, emitted=len(emit.batch), executed=executed)
+                if executed or deadline_cut or emit.cost > 0 or state.clock > clock_before:
                     continue
 
             # -- 3. match stage starved: advance towards more input ------
-            if next_arrival < n_arrivals:
-                start = max(arrival_times[next_arrival], ingest_clock)
-                if start >= self.budget:
+            if state.next_arrival < state.n_arrivals:
+                start = max(arrival_times[state.next_arrival], state.ingest_clock)
+                if start >= budget:
                     # The next ingest cannot even start before the deadline:
                     # the run is budget-bound; charging work past the budget
                     # (and reporting clocks beyond it) would be wrong.
                     metrics.count(
-                        "engine.ingests_cut_by_deadline", n_arrivals - next_arrival
+                        "engine.ingests_cut_by_deadline",
+                        state.n_arrivals - state.next_arrival,
                     )
-                    match_clock = self.budget
+                    state.clock = budget
                     break
                 if system.ready_for_ingest():
                     # Run the next ingest (even if it starts after the match
                     # clock) and let the matcher wait for its completion.
-                    ingest_next()
-                    match_clock = min(max(match_clock, ingest_clock), self.budget)
+                    self._ingest_step(state)
+                    state.clock = min(max(state.clock, state.ingest_clock), budget)
                     continue
                 # Back-pressured with no pending comparisons: force one
                 # increment through to avoid a livelock.
-                ingest_next(forced=True)
-                match_clock = min(max(match_clock, ingest_clock), self.budget)
+                self._ingest_step(state, forced=True)
+                state.clock = min(max(state.clock, state.ingest_clock), budget)
                 continue
             with metrics.time_phase("idle") as idle_timer:
-                idle_cost = system.on_idle(
-                    self._stats(match_clock, arrival_estimator, backlog())
-                )
+                idle_cost = system.on_idle(self._pipeline_stats(state))
                 if idle_cost is not None:
-                    match_clock += idle_cost
+                    state.clock += idle_cost
                     idle_timer.virtual += idle_cost
             if idle_cost is not None:
                 metrics.count("engine.idle_rounds")
                 continue
-            work_exhausted = True
+            state.work_exhausted = True
             break
 
-        final_clock = min(match_clock, self.budget) if not work_exhausted else match_clock
-        recorder.mark(final_clock)
-        metrics.gauge("engine.clock_end", final_clock)
-        metrics.gauge("engine.budget", self.budget)
-        metrics.gauge("engine.ingest_clock_end", min(ingest_clock, self.budget))
-        details = dict(system.describe())
-        details["resilience"] = {
-            "retries": metrics.counter("engine.retries"),
-            "quarantined_pairs": tuple(sorted(quarantined)),
-            "shed_increments": shed,
-            "duplicate_increments_dropped": duplicates_dropped,
-            "checkpoints_taken": metrics.counter("engine.checkpoints_taken"),
-        }
-        details["metrics"] = metrics.snapshot()
-        return RunResult(
-            system_name=system.name,
-            matcher_name=matcher.name,
-            curve=recorder.curve(),
-            duplicates=frozenset(duplicates),
-            comparisons_executed=recorder.comparisons_executed,
-            clock_end=final_clock,
-            budget=self.budget,
-            stream_consumed_at=consumed_at,
-            work_exhausted=work_exhausted,
-            increments_ingested=ingested,
-            match_events=recorder.match_events(),
-            details=details,
-        )
-
     # ------------------------------------------------------------------
-    def _stats(
-        self, clock: float, arrival_estimator: RateEstimator, backlog: int
-    ) -> PipelineStats:
-        mean_cost = self.matcher.mean_cost or self.match_cost_prior
-        return PipelineStats(
-            now=clock,
-            input_rate=arrival_estimator.rate_at(clock),
-            mean_match_cost=mean_cost,
-            backlog=backlog,
-            remaining_budget=self.budget - clock,
-        )
+    def _ingest_step(self, state: RunState, forced: bool = False) -> None:
+        """Consume the next arrival (dropping exactly-once redeliveries)."""
+        if state.increments[state.next_arrival].index in state.seen_increments:
+            self._drop_redelivered(state, state.ingest_clock)
+            return
+        with state.metrics.time_phase("ingest") as timer:
+            self._ingest_one(state, timer, forced=forced)
+
+    def _advance_ingest(self, state: RunState, arrival: float, cost: float) -> float:
+        # Pipelined policy: ingestion starts when both the increment and the
+        # ingest stage are available, and charges only the ingest clock.
+        start = max(arrival, state.ingest_clock)
+        state.ingest_clock = start + cost
+        return state.ingest_clock
+
+    def _ingest_clock_end(self, state: RunState, final_clock: float) -> float:
+        return min(state.ingest_clock, self.budget)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
+from repro.execution.store import ComparisonStore
 from repro.observability.metrics import MetricsRegistry
 
 __all__ = ["PipelineCosts", "PipelineStats", "EmitResult", "ERSystem"]
@@ -73,6 +74,23 @@ class ERSystem:
 
     name: str = "er-system"
     _metrics: MetricsRegistry | None = None
+    #: The system's comparison registry (executed-set / Bloom / quarantine).
+    #: Systems that dedup comparisons create one eagerly in ``__init__``;
+    #: for everything else the :attr:`comparison_store` property lazily
+    #: provides one on first engine access.
+    store: ComparisonStore | None = None
+
+    @property
+    def comparison_store(self) -> ComparisonStore:
+        """The shared :class:`ComparisonStore` the engines bind to.
+
+        It shares the system's lifetime (like the executed sets it
+        replaced), and ``snapshot``/``restore`` carry it with the rest of
+        the mutable state, so checkpoints serialize it exactly once.
+        """
+        if self.store is None:
+            self.store = ComparisonStore()
+        return self.store
 
     @property
     def metrics(self) -> MetricsRegistry:

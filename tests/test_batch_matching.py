@@ -1,0 +1,118 @@
+"""Bit-identity tests for the batched matcher kernel.
+
+The engines' batched execution path is only sound if ``evaluate_batch``
+produces *exactly* the scalar results — same similarities, same costs, same
+stats and metrics counters, in the same accumulation order.  These tests
+compare the two paths pair by pair on real dataset profiles for both
+matchers, check the vectorized similarity kernels against their scalar
+definitions, and pin the ``supports_batch`` contract for wrapped matchers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.evaluation.experiments import make_matcher
+from repro.matching.similarity import dice_batch, jaccard, jaccard_batch
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience import FaultyMatcher
+
+
+def _sample_pairs(dataset, n=200, seed=7):
+    rng = random.Random(seed)
+    profiles = dataset.profiles
+    return [
+        (profiles[rng.randrange(len(profiles))], profiles[rng.randrange(len(profiles))])
+        for _ in range(n)
+    ]
+
+
+def _run_scalar(matcher, pairs):
+    registry = MetricsRegistry()
+    matcher.bind_metrics(registry)
+    results = [matcher.evaluate(x, y) for x, y in pairs]
+    return results, registry.snapshot(include_wall=False)["counters"]
+
+
+def _run_batched(matcher, pairs):
+    registry = MetricsRegistry()
+    matcher.bind_metrics(registry)
+    results = matcher.evaluate_batch(pairs)
+    return results, registry.snapshot(include_wall=False)["counters"]
+
+
+def _assert_identical(matcher_name, pairs):
+    scalar_matcher = make_matcher(matcher_name)
+    batched_matcher = make_matcher(matcher_name)
+    scalar_results, scalar_counters = _run_scalar(scalar_matcher, pairs)
+    batched_results, batched_counters = _run_batched(batched_matcher, pairs)
+    assert len(scalar_results) == len(batched_results)
+    for scalar, batched in zip(scalar_results, batched_results):
+        assert scalar.similarity == batched.similarity
+        assert scalar.cost == batched.cost
+        assert scalar.is_match == batched.is_match
+    assert scalar_counters == batched_counters
+    # Float accumulations must agree bit-for-bit (same summation order).
+    assert scalar_matcher.total_cost == batched_matcher.total_cost
+    assert scalar_matcher.comparisons_executed == batched_matcher.comparisons_executed
+    assert scalar_matcher.matches_found == batched_matcher.matches_found
+
+
+def test_jaccard_batch_bit_identical(small_dblp_acm):
+    assert make_matcher("JS").supports_batch
+    _assert_identical("JS", _sample_pairs(small_dblp_acm))
+
+
+def test_edit_distance_batch_bit_identical(small_movies):
+    assert make_matcher("ED").supports_batch
+    _assert_identical("ED", _sample_pairs(small_movies))
+
+
+def test_estimate_cost_batch_matches_scalar(small_dblp_acm):
+    pairs = _sample_pairs(small_dblp_acm, n=100)
+    for name in ("JS", "ED"):
+        matcher = make_matcher(name)
+        batched = matcher.estimate_cost_batch(pairs)
+        scalar = [matcher.estimate_cost(x, y) for x, y in pairs]
+        assert batched == scalar
+
+
+def test_similarity_kernels_match_scalar_definitions():
+    sets = [
+        (set(), set()),
+        ({"a"}, set()),
+        ({"a", "b"}, {"b", "c"}),
+        ({"a", "b", "c"}, {"a", "b", "c"}),
+        (set("abcdef"), set("defghi")),
+    ]
+    assert jaccard_batch(sets) == [jaccard(x, y) for x, y in sets]
+    expected_dice = [
+        0.0 if not x or not y else 2.0 * len(x & y) / (len(x) + len(y)) for x, y in sets
+    ]
+    assert dice_batch(sets) == expected_dice
+
+
+def test_faulty_matcher_opts_out_of_batching(small_dblp_acm):
+    """Fault injection sequences failures by call order, so the wrapper must
+    stay on the scalar path — and its looping ``evaluate_batch`` must replay
+    the exact fault schedule."""
+    wrapped = FaultyMatcher(make_matcher("JS"), seed=3, failure_rate=0.0)
+    assert wrapped.supports_batch is False
+
+    pairs = _sample_pairs(small_dblp_acm, n=50)
+    scalar_results, _ = _run_scalar(FaultyMatcher(make_matcher("JS"), seed=3, failure_rate=0.0), pairs)
+    batched_results, _ = _run_batched(wrapped, pairs)
+    for scalar, batched in zip(scalar_results, batched_results):
+        assert scalar.similarity == batched.similarity
+        assert scalar.cost == batched.cost
+
+
+def test_base_matcher_fallback_loops(small_dblp_acm):
+    """A matcher without ``supports_batch`` evaluates pair-at-a-time."""
+    matcher = make_matcher("JS")
+    matcher.supports_batch = False
+    pairs = _sample_pairs(small_dblp_acm, n=20)
+    results, _ = _run_batched(matcher, pairs)
+    reference, _ = _run_scalar(make_matcher("JS"), pairs)
+    for got, want in zip(results, reference):
+        assert got == want
