@@ -11,7 +11,14 @@ execution core and gates against regressions:
 * **slots** — per-instance memory of the slotted
   :class:`~repro.priority.bounded_pq.BoundedPriorityQueue` versus a
   ``__dict__``-backed replica, plus enqueue/dequeue throughput.  I-PES
-  allocates one queue per entity, so the footprint is a real lever.
+  allocates one queue per entity, so the footprint is a real lever;
+* **single-sweep weighting** — profiles/second through candidate
+  generation + I-WNP (``ComparisonGenerator.generate``) on the sweep
+  kernel versus the legacy per-pair ``scheme.weight()`` path, for all four
+  weighting schemes.  The sweep must stay at least
+  ``MIN_CBS_SWEEP_SPEEDUP``× faster for CBS (the paper's default scheme)
+  and both paths must emit bit-identical comparison streams (re-verified
+  on every run).
 
 Unlike the smoke/chaos baselines, every recorded value here is wall-clock
 (host-dependent), so the checked-in ``BENCH_perf.json`` is refreshed only
@@ -32,8 +39,12 @@ import tracemalloc
 from pathlib import Path
 from typing import Sequence
 
+from repro.blocking.blocks import BlockCollection
+from repro.core.dataset import ERKind
 from repro.datasets.registry import load_dataset
 from repro.evaluation.experiments import make_matcher
+from repro.metablocking.weights import make_scheme
+from repro.pier.base import ComparisonGenerator
 from repro.priority.bounded_pq import BoundedPriorityQueue
 
 from benchmarks.smoke import diff_schema
@@ -50,10 +61,18 @@ CONFIG = {
     "repeats": 5,
     "queue_instances": 20000,
     "queue_ops": 50000,
+    "prioritization_profiles": 400,
+    "prioritization_max_block_size": 200,
+    "schemes": ["CBS", "ECBS", "JS", "ARCS"],
+    "beta": 0.2,
 }
 
 #: The batched JS kernel must amortize at least this much per-pair dispatch.
 MIN_JS_SPEEDUP = 2.0
+
+#: The single-sweep weighting kernel must beat the per-pair path by at
+#: least this much on CBS (the paper's default scheme).
+MIN_CBS_SWEEP_SPEEDUP = 3.0
 
 
 class _DictBackedQueue:
@@ -158,6 +177,61 @@ def _bench_slots() -> dict:
     }
 
 
+def _bench_prioritization(dataset, repeats: int) -> dict:
+    """Profiles/second through generate + I-WNP, sweep vs per-pair."""
+    collection = BlockCollection(
+        clean_clean=dataset.kind is ERKind.CLEAN_CLEAN,
+        max_block_size=CONFIG["prioritization_max_block_size"],
+    )
+    for profile in dataset.profiles:
+        collection.add_profile(profile)
+    sample = dataset.profiles[-CONFIG["prioritization_profiles"]:]
+    sources = {profile.pid: profile.source for profile in dataset.profiles}
+    jobs = []
+    for profile in sample:
+        # Mirror the engine's predicates, including their self-describing
+        # markers (PierSystem.valid_partner), so the benchmark measures the
+        # pipeline exactly as the strategies drive it.
+        if collection.clean_clean:
+            valid = lambda pid, s=profile.source: sources[pid] != s
+            valid.cross_source_only = True
+        else:
+            valid = lambda pid: True
+            valid.always_true = True
+        jobs.append((profile, valid))
+
+    per_scheme = {}
+    for scheme_name in CONFIG["schemes"]:
+        scheme = make_scheme(scheme_name)
+        sweep_gen = ComparisonGenerator(beta=CONFIG["beta"], scheme=scheme)
+        pair_gen = ComparisonGenerator(beta=CONFIG["beta"], scheme=scheme, per_pair=True)
+
+        def run_sweep():
+            return [sweep_gen.generate(collection, p, v) for p, v in jobs]
+
+        def run_per_pair():
+            return [pair_gen.generate(collection, p, v) for p, v in jobs]
+
+        mismatches = sum(1 for a, b in zip(run_sweep(), run_per_pair()) if a != b)
+        if mismatches:
+            raise AssertionError(
+                f"{scheme_name}: sweep kernel diverged from per-pair weighting "
+                f"on {mismatches}/{len(jobs)} profiles"
+            )
+        sweep_s = _best_of(repeats, run_sweep)
+        pair_s = _best_of(repeats, run_per_pair)
+        per_scheme[scheme_name] = {
+            "profiles": len(jobs),
+            "per_pair_wall_s": round(pair_s, 6),
+            "sweep_wall_s": round(sweep_s, 6),
+            "per_pair_profiles_per_s": round(len(jobs) / pair_s, 1),
+            "sweep_profiles_per_s": round(len(jobs) / sweep_s, 1),
+            "speedup": round(pair_s / sweep_s, 3),
+            "bit_identical": True,
+        }
+    return per_scheme
+
+
 def build_snapshot() -> dict:
     dataset = load_dataset(CONFIG["dataset"], scale=CONFIG["scale"])
     pairs = _sample_pairs(dataset, CONFIG["n_pairs"], CONFIG["sample_seed"])
@@ -169,6 +243,7 @@ def build_snapshot() -> dict:
             for name in CONFIG["matchers"]
         },
         "slots": _bench_slots(),
+        "prioritization": _bench_prioritization(dataset, CONFIG["repeats"]),
     }
 
 
@@ -202,6 +277,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{slots['enqueue_dequeue_ops_per_s']:.0f} queue ops/s"
     )
 
+    for scheme_name, entry in payload["prioritization"].items():
+        print(
+            f"weighting[{scheme_name}]: per-pair={entry['per_pair_profiles_per_s']:.0f} "
+            f"profiles/s sweep={entry['sweep_profiles_per_s']:.0f} profiles/s "
+            f"speedup={entry['speedup']:.2f}x"
+        )
+
     failures = []
     js_speedup = payload["batched_matching"]["JS"]["speedup"]
     if js_speedup < MIN_JS_SPEEDUP:
@@ -210,6 +292,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if slots["bytes_saved_per_instance"] <= 0:
         failures.append("slotted queue is not smaller than the dict-backed replica")
+    cbs_sweep = payload["prioritization"]["CBS"]["speedup"]
+    if cbs_sweep < MIN_CBS_SWEEP_SPEEDUP:
+        failures.append(
+            f"CBS sweep speedup {cbs_sweep:.2f}x below the "
+            f"{MIN_CBS_SWEEP_SPEEDUP}x gate"
+        )
+    for scheme_name, entry in payload["prioritization"].items():
+        if not entry["bit_identical"]:
+            failures.append(f"{scheme_name}: sweep stream diverged from per-pair")
 
     if args.out.exists() and not args.update:
         baseline = json.loads(args.out.read_text())

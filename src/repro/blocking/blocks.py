@@ -4,12 +4,14 @@ Token blocking places each profile in one block per token appearing in its
 attribute values.  The :class:`BlockCollection` is the shared substrate of
 every algorithm in this library: it is built incrementally (profiles are
 only ever *added*, as increments arrive) and maintains both the token →
-profiles mapping and its inverse (profile → blocks), which the CBS weighting
-scheme reads on every comparison.
+profiles mapping and its inverse (profile → blocks), which the weighting
+schemes and the single-sweep weighting kernel
+(:mod:`repro.metablocking.sweep`) read on every comparison.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterable, Iterator
 
 from repro.core.profile import EntityProfile
@@ -21,19 +23,26 @@ class Block:
     """A single block: the profiles sharing one blocking key (token).
 
     Profiles are kept per source so that Clean-Clean ER can generate only
-    cross-source comparisons without filtering after the fact.
+    cross-source comparisons without filtering after the fact.  Each block
+    carries a dense integer id (``bid``) interned by its owning collection;
+    ids are assigned in key-creation order and survive purging, so they are
+    stable for the lifetime of a run.
     """
 
-    __slots__ = ("key", "members_by_source", "_size")
+    __slots__ = ("key", "bid", "members_by_source", "_size", "_cc_value", "_cc_kind")
 
-    def __init__(self, key: str) -> None:
+    def __init__(self, key: str, bid: int = -1) -> None:
         self.key = key
+        self.bid = bid
         self.members_by_source: dict[int, list[int]] = {}
         self._size = 0
+        self._cc_value = 0
+        self._cc_kind: bool | None = None  # None → cardinality cache invalid
 
     def add(self, pid: int, source: int) -> None:
         self.members_by_source.setdefault(source, []).append(pid)
         self._size += 1
+        self._cc_kind = None
 
     def __len__(self) -> int:
         return self._size
@@ -42,16 +51,32 @@ class Block:
         for members in self.members_by_source.values():
             yield from members
 
-    def members(self, source: int) -> list[int]:
-        return self.members_by_source.get(source, [])
+    def members(self, source: int) -> tuple[int, ...]:
+        """Members of one source, as an immutable snapshot.
+
+        A tuple is returned (not the internal list) so that strategies
+        cannot corrupt the index by mutating what they are handed.
+        """
+        return tuple(self.members_by_source.get(source, ()))
 
     def comparison_count(self, clean_clean: bool) -> int:
-        """Number of comparisons ||b|| this block can generate."""
+        """Number of comparisons ||b|| this block can generate.
+
+        Cached until the next :meth:`add` — ARCS weighting and the
+        smallest-block-first refill consult it once per co-occurrence, so
+        recomputing the product per call is measurable on hot paths.
+        """
+        if self._cc_kind is clean_clean:
+            return self._cc_value
         if clean_clean:
-            return len(self.members_by_source.get(0, ())) * len(
+            count = len(self.members_by_source.get(0, ())) * len(
                 self.members_by_source.get(1, ())
             )
-        return self._size * (self._size - 1) // 2
+        else:
+            count = self._size * (self._size - 1) // 2
+        self._cc_value = count
+        self._cc_kind = clean_clean
+        return count
 
     def pairs(self, clean_clean: bool) -> Iterator[tuple[int, int]]:
         """Yield all candidate pid pairs of this block (not canonicalized)."""
@@ -94,6 +119,8 @@ class BlockCollection:
         "_blocks_of",
         "_purged_keys",
         "_total_comparisons",
+        "_key_ids",
+        "_profile_blocks",
     )
 
     def __init__(self, clean_clean: bool = False, max_block_size: int | None = 200) -> None:
@@ -105,6 +132,14 @@ class BlockCollection:
         self._blocks_of: dict[int, set[str]] = {}
         self._purged_keys: set[str] = set()
         self._total_comparisons = 0
+        # Dense int id per block key, assigned in creation order.  Purged
+        # keys keep their id (they are blacklisted, never recreated), so ids
+        # are stable and never reused.
+        self._key_ids: dict[str, int] = {}
+        # Per-profile cache of the sorted live-block tuple behind
+        # iter_partner_blocks/blocks_of_as_blocks; invalidated when the
+        # profile's key set changes (its own add, or a purge touching it).
+        self._profile_blocks: dict[int, tuple[Block, ...]] = {}
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -123,7 +158,7 @@ class BlockCollection:
                 continue
             block = self._blocks.get(token)
             if block is None:
-                block = Block(token)
+                block = Block(token, self._intern_key(token))
                 self._blocks[token] = block
             if self.clean_clean:
                 gained = len(block.members_by_source.get(1 - profile.source, ()))
@@ -136,7 +171,15 @@ class BlockCollection:
             else:
                 keys.add(token)
         self._blocks_of[profile.pid] = keys
+        self._profile_blocks.pop(profile.pid, None)
         return keys
+
+    def _intern_key(self, key: str) -> int:
+        bid = self._key_ids.get(key)
+        if bid is None:
+            bid = len(self._key_ids)
+            self._key_ids[key] = bid
+        return bid
 
     def _purge_block(self, key: str) -> None:
         block = self._blocks.pop(key)
@@ -146,6 +189,7 @@ class BlockCollection:
             member_keys = self._blocks_of.get(pid)
             if member_keys is not None:
                 member_keys.discard(key)
+            self._profile_blocks.pop(pid, None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -162,25 +206,72 @@ class BlockCollection:
     def get(self, key: str) -> Block | None:
         return self._blocks.get(key)
 
+    def key_id(self, key: str) -> int | None:
+        """Dense interned id of a block key (stable, survives purging)."""
+        return self._key_ids.get(key)
+
     def blocks_of(self, pid: int) -> set[str]:
         """Keys of the live blocks containing ``pid`` (B(p) in the paper)."""
         return self._blocks_of.get(pid, set())
 
-    def blocks_of_as_blocks(self, pid: int) -> list[Block]:
+    def block_count_of(self, pid: int) -> int:
+        """|B(p)| — number of live blocks containing ``pid`` (O(1))."""
+        keys = self._blocks_of.get(pid)
+        return len(keys) if keys else 0
+
+    def iter_partner_blocks(self, pid: int) -> tuple[Block, ...]:
+        """The live blocks containing ``pid``, sorted by key — cached.
+
+        This is the substrate of the single-sweep weighting kernel: one
+        call hands back every block whose members are ``pid``'s candidate
+        partners, purged blocks already skipped, in a deterministic
+        (hash-seed independent) order.  The tuple is cached per profile and
+        invalidated only when the profile's key set changes, so repeated
+        sweeps over the same profile do not re-sort.
+        """
+        cached = self._profile_blocks.get(pid)
+        if cached is None:
+            blocks = self._blocks
+            cached = tuple(
+                block
+                for block in (blocks.get(key) for key in sorted(self._blocks_of.get(pid, ())))
+                if block is not None
+            )
+            self._profile_blocks[pid] = cached
+        return cached
+
+    def blocks_of_as_blocks(self, pid: int) -> tuple[Block, ...]:
         """The live blocks containing ``pid``, as Block objects.
 
         Returned in sorted key order: ``_blocks_of`` stores key *sets*, whose
         iteration order varies with the interpreter's hash seed, and this
         order feeds candidate generation (block ghosting, I-WNP, queue
         tie-breaking).  Sorting keeps runs bit-identical across hosts and
-        checkpoint restores.
+        checkpoint restores.  Alias of :meth:`iter_partner_blocks`.
         """
-        result = []
-        for key in sorted(self._blocks_of.get(pid, ())):
-            block = self._blocks.get(key)
-            if block is not None:
-                result.append(block)
-        return result
+        return self.iter_partner_blocks(pid)
+
+    def partner_counts(self, pid: int, source: int | None = None) -> Counter:
+        """Co-occurrence counts ``|B(pid) ∩ B(y)|`` for every partner ``y``.
+
+        One sweep over ``pid``'s live blocks; the CBS weight of every
+        candidate comparison of ``pid`` in a single pass (``pid`` itself is
+        removed from the result).  With ``source`` given on a Clean-Clean
+        collection, only cross-source partners are counted.
+        """
+        counts: Counter = Counter()
+        if self.clean_clean and source is not None:
+            other = 1 - source
+            for block in self.iter_partner_blocks(pid):
+                members = block.members_by_source.get(other)
+                if members:
+                    counts.update(members)
+        else:
+            for block in self.iter_partner_blocks(pid):
+                for members in block.members_by_source.values():
+                    counts.update(members)
+            del counts[pid]
+        return counts
 
     def profiles_indexed(self) -> int:
         return len(self._blocks_of)

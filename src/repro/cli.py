@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "benchmarking)",
         )
         sub.add_argument(
+            "--per-pair-weighting", action="store_true",
+            help="force one meta-blocking weight() call per candidate pair "
+                 "instead of the single-sweep weighting kernel "
+                 "(bit-identical results; for debugging and benchmarking)",
+        )
+        sub.add_argument(
             "--faults", type=int, default=None, metavar="SEED",
             help="inject seeded chaos: perturb the stream plan (drops, "
                  "redeliveries, reorders, bursts, corruption) and wrap the "
@@ -114,7 +120,7 @@ def _run_one(args, dataset, algorithm: str):
         print(report.summary(), file=sys.stderr)
         plan = report.plan
         matcher = FaultyMatcher(matcher, seed=args.faults)
-    system = make_system(algorithm, dataset)
+    system = make_system(algorithm, dataset, per_pair_weighting=args.per_pair_weighting)
     engine = _engine(args, matcher)
     return engine.run(system, plan, dataset.ground_truth)
 

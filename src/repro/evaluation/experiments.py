@@ -31,6 +31,7 @@ from repro.streaming.system import ERSystem
 __all__ = [
     "SYSTEM_NAMES",
     "BATCH_SYSTEMS",
+    "WEIGHTING_SYSTEMS",
     "ExperimentConfig",
     "make_matcher",
     "make_system",
@@ -67,10 +68,39 @@ def make_matcher(name: str) -> Matcher:
     raise ValueError(f"unknown matcher {name!r}; use 'JS' or 'ED'")
 
 
-def make_system(name: str, dataset: Dataset, **overrides) -> ERSystem:
-    """Instantiate an ER system by its paper name for a given dataset."""
+#: Systems whose prioritization runs on meta-blocking weights and therefore
+#: honor the ``per_pair_weighting`` escape hatch.  The sorted-neighborhood
+#: and exhaustive-batch baselines do not weight comparisons, so the flag is
+#: ignored for them.
+WEIGHTING_SYSTEMS = frozenset(
+    {
+        "I-PES",
+        "I-PCS",
+        "I-PBS",
+        "I-AUTO",
+        "I-BASE",
+        "PPS",
+        "PPS-GLOBAL",
+        "PPS-LOCAL",
+        "PBS",
+        "PBS-GLOBAL",
+    }
+)
+
+
+def make_system(
+    name: str, dataset: Dataset, *, per_pair_weighting: bool = False, **overrides
+) -> ERSystem:
+    """Instantiate an ER system by its paper name for a given dataset.
+
+    ``per_pair_weighting=True`` selects the legacy per-pair meta-blocking
+    weighting path instead of the single-sweep kernel for the systems that
+    weight comparisons (bit-identical results; exists for bisection).
+    """
     clean_clean = dataset.kind is ERKind.CLEAN_CLEAN
     key = name.upper()
+    if per_pair_weighting and key in WEIGHTING_SYSTEMS:
+        overrides["per_pair_weighting"] = True
     if key == "I-PES":
         return PierSystem(IPES(**overrides), clean_clean=clean_clean)
     if key == "I-PCS":

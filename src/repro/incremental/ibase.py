@@ -26,7 +26,7 @@ from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
 from repro.execution.store import ComparisonStore
 from repro.metablocking.weights import WeightingScheme
-from repro.pier.base import ComparisonGenerator
+from repro.pier.base import ComparisonGenerator, _always_valid
 from repro.streaming.system import EmitResult, ERSystem, PipelineCosts, PipelineStats
 
 __all__ = ["IBaseSystem"]
@@ -45,6 +45,9 @@ class IBaseSystem(ERSystem):
     high_watermark:
         Back-pressure bound on the comparison backlog: ingestion of further
         increments stalls while the backlog is above this value.
+    per_pair_weighting:
+        Use the legacy one-``weight()``-call-per-candidate path instead of
+        the single-sweep kernel (bit-identical; for bisection).
     """
 
     name = "I-BASE"
@@ -58,6 +61,7 @@ class IBaseSystem(ERSystem):
         costs: PipelineCosts | None = None,
         chunk_size: int = 64,
         high_watermark: int = 2000,
+        per_pair_weighting: bool = False,
     ) -> None:
         self.costs = costs or PipelineCosts()
         self.blocker = IncrementalTokenBlocking(
@@ -67,7 +71,7 @@ class IBaseSystem(ERSystem):
                 per_profile=self.costs.per_profile, per_token=self.costs.per_token
             ),
         )
-        self.generator = ComparisonGenerator(beta=beta, scheme=scheme)
+        self.generator = ComparisonGenerator(beta=beta, scheme=scheme, per_pair=per_pair_weighting)
         self.chunk_size = chunk_size
         self.high_watermark = high_watermark
         self._fifo: deque[tuple[int, int]] = deque()
@@ -119,10 +123,12 @@ class IBaseSystem(ERSystem):
     # ------------------------------------------------------------------
     def _valid_partner(self, profile: EntityProfile):
         if not self.blocker.collection.clean_clean:
-            return lambda pid: True
+            return _always_valid
         source = profile.source
         blocker = self.blocker
-        return lambda pid: blocker.profile(pid).source != source
+        predicate = lambda pid: blocker.profile(pid).source != source
+        predicate.cross_source_only = True  # type: ignore[attr-defined]
+        return predicate
 
     @property
     def backlog(self) -> int:

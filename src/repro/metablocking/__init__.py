@@ -7,6 +7,11 @@ from repro.metablocking.pruning import (
     enumerate_weighted_comparisons,
     weighted_edge_pruning,
 )
+from repro.metablocking.sweep import (
+    partner_weights,
+    sweep_candidate_weights,
+    sweep_weights,
+)
 from repro.metablocking.weights import (
     ARCSScheme,
     CommonBlocksScheme,
@@ -15,7 +20,12 @@ from repro.metablocking.weights import (
     WeightingScheme,
     make_scheme,
 )
-from repro.metablocking.wnp import WNPResult, batch_wnp_for_profile, incremental_wnp
+from repro.metablocking.wnp import (
+    WNPResult,
+    batch_wnp_for_profile,
+    incremental_wnp,
+    sweep_wnp,
+)
 
 __all__ = [
     "ARCSScheme",
@@ -31,5 +41,9 @@ __all__ = [
     "enumerate_weighted_comparisons",
     "incremental_wnp",
     "make_scheme",
+    "partner_weights",
+    "sweep_candidate_weights",
+    "sweep_weights",
+    "sweep_wnp",
     "weighted_edge_pruning",
 ]

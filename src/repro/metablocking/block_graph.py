@@ -18,23 +18,32 @@ from typing import Callable
 
 from repro.blocking.blocks import BlockCollection
 from repro.core.comparison import canonical_pair
+from repro.metablocking.sweep import partner_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 
 __all__ = ["BlockGraph"]
 
 
 class BlockGraph:
-    """Weighted comparison graph over a (static) block collection."""
+    """Weighted comparison graph over a (static) block collection.
+
+    Edge weights come from the single-sweep kernel — pairs are enumerated
+    and de-duplicated first, then weighted with one aggregate sweep per
+    distinct left profile (``per_pair=True`` restores the legacy
+    one-``weight()``-call-per-edge build; results are bit-identical).
+    """
 
     def __init__(
         self,
         collection: BlockCollection,
         valid_pair: Callable[[int, int], bool],
         scheme: WeightingScheme | None = None,
+        per_pair: bool = False,
     ) -> None:
         self._collection = collection
         self._valid_pair = valid_pair
         self._scheme = scheme or CommonBlocksScheme()
+        self._per_pair = per_pair
         self.edges: dict[tuple[int, int], float] = {}
         self.adjacency: dict[int, list[tuple[int, float]]] = {}
         self.edge_enumerations = 0  # work units: block-pair enumerations
@@ -42,6 +51,7 @@ class BlockGraph:
 
     def _build(self) -> None:
         seen: set[tuple[int, int]] = set()
+        ordered: list[tuple[int, int]] = []
         for block in self._collection:
             for pid_x, pid_y in block.pairs(self._collection.clean_clean):
                 self.edge_enumerations += 1
@@ -51,12 +61,26 @@ class BlockGraph:
                 seen.add(pair)
                 if not self._valid_pair(*pair):
                     continue
-                weight = self._scheme.weight(self._collection, *pair)
-                if weight <= 0.0:
-                    continue
-                self.edges[pair] = weight
-                self.adjacency.setdefault(pair[0], []).append((pair[1], weight))
-                self.adjacency.setdefault(pair[1], []).append((pair[0], weight))
+                ordered.append(pair)
+        if self._per_pair:
+            weighted = (
+                (pair, self._scheme.weight(self._collection, *pair)) for pair in ordered
+            )
+        else:
+            by_left: dict[int, list[int]] = {}
+            for left, right in ordered:
+                by_left.setdefault(left, []).append(right)
+            weights = {
+                left: partner_weights(self._collection, left, rights, self._scheme)
+                for left, rights in by_left.items()
+            }
+            weighted = ((pair, weights[pair[0]][pair[1]]) for pair in ordered)
+        for pair, weight in weighted:
+            if weight <= 0.0:
+                continue
+            self.edges[pair] = weight
+            self.adjacency.setdefault(pair[0], []).append((pair[1], weight))
+            self.adjacency.setdefault(pair[1], []).append((pair[0], weight))
 
     # ------------------------------------------------------------------
     def duplication_likelihood(self, pid: int) -> float:

@@ -6,6 +6,16 @@ The paper uses **CBS** (Common Blocks Scheme) throughout because it is the
 cheapest to maintain incrementally; the other classic schemes (ECBS, JS,
 ARCS) are provided both for completeness and for the weighting-scheme
 ablation benchmark.
+
+Every scheme supports two evaluation modes with bit-identical results:
+
+* the classic per-pair :meth:`~WeightingScheme.weight` call, and
+* the single-sweep aggregate path (:mod:`repro.metablocking.sweep`), which
+  derives the same weights for *all* partners of one profile from one
+  co-occurrence counting pass.  Count-based schemes (CBS, ECBS, JS) expose
+  :meth:`finalize_sweep` to turn a co-occurrence count into the weight;
+  ARCS marks itself with ``sweep_accumulates_inverse_cardinality`` so the
+  sweep accumulates ``1/||b||`` terms instead of counts.
 """
 
 from __future__ import annotations
@@ -45,8 +55,17 @@ class CommonBlocksScheme:
 
     name = "CBS"
 
+    #: Tells the sweep kernel the weight is the bare co-occurrence count —
+    #: no per-partner finalize call needed.
+    sweep_weight_is_count = True
+
     def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
         return float(collection.common_blocks(pid_x, pid_y))
+
+    def finalize_sweep(
+        self, collection: BlockCollection, pid_x: int, pid_y: int, common: int
+    ) -> float:
+        return float(common)
 
 
 class EnhancedCommonBlocksScheme:
@@ -59,15 +78,41 @@ class EnhancedCommonBlocksScheme:
     name = "ECBS"
 
     def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
-        common = collection.common_blocks(pid_x, pid_y)
+        return self.finalize_sweep(
+            collection, pid_x, pid_y, collection.common_blocks(pid_x, pid_y)
+        )
+
+    def finalize_sweep(
+        self, collection: BlockCollection, pid_x: int, pid_y: int, common: int
+    ) -> float:
         if common == 0:
             return 0.0
         total_blocks = max(len(collection), 1)
-        blocks_x = len(collection.blocks_of(pid_x)) or 1
-        blocks_y = len(collection.blocks_of(pid_y)) or 1
+        blocks_x = collection.block_count_of(pid_x) or 1
+        blocks_y = collection.block_count_of(pid_y) or 1
         boost_x = math.log1p(total_blocks / blocks_x)
         boost_y = math.log1p(total_blocks / blocks_y)
         return common * boost_x * boost_y
+
+    def sweep_weights_for(
+        self, collection: BlockCollection, pid_x: int, candidates, counts
+    ) -> list[float]:
+        """Vectorized ``finalize_sweep``: ``boost_x`` is hoisted out of the
+        per-candidate loop (it only depends on ``pid_x``), which changes no
+        float — same inputs, same product order."""
+        total_blocks = max(len(collection), 1)
+        boost_x = math.log1p(total_blocks / (collection.block_count_of(pid_x) or 1))
+        block_count_of = collection.block_count_of
+        log1p = math.log1p
+        weights = []
+        for pid_y in candidates:
+            common = counts[pid_y]
+            if common == 0:
+                weights.append(0.0)
+                continue
+            boost_y = log1p(total_blocks / (block_count_of(pid_y) or 1))
+            weights.append(common * boost_x * boost_y)
+        return weights
 
 
 class JaccardScheme:
@@ -76,23 +121,52 @@ class JaccardScheme:
     name = "JS-scheme"
 
     def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
-        common = collection.common_blocks(pid_x, pid_y)
+        return self.finalize_sweep(
+            collection, pid_x, pid_y, collection.common_blocks(pid_x, pid_y)
+        )
+
+    def finalize_sweep(
+        self, collection: BlockCollection, pid_x: int, pid_y: int, common: int
+    ) -> float:
         if common == 0:
             return 0.0
-        union = (
-            len(collection.blocks_of(pid_x)) + len(collection.blocks_of(pid_y)) - common
-        )
+        union = collection.block_count_of(pid_x) + collection.block_count_of(pid_y) - common
         return common / union if union else 0.0
+
+    def sweep_weights_for(
+        self, collection: BlockCollection, pid_x: int, candidates, counts
+    ) -> list[float]:
+        """Vectorized ``finalize_sweep`` with ``|B(p_x)|`` hoisted; the
+        integer union arithmetic is exact, so the division is unchanged."""
+        count_x = collection.block_count_of(pid_x)
+        block_count_of = collection.block_count_of
+        weights = []
+        for pid_y in candidates:
+            common = counts[pid_y]
+            if common == 0:
+                weights.append(0.0)
+                continue
+            union = count_x + block_count_of(pid_y) - common
+            weights.append(common / union if union else 0.0)
+        return weights
 
 
 class ARCSScheme:
     """ARCS: sum over common blocks of ``1 / ||b||``.
 
     Small blocks contribute more — comparisons supported by rare tokens are
-    more reliable evidence than those supported by frequent ones.
+    more reliable evidence than those supported by frequent ones.  The
+    common blocks are summed in sorted-key order so the floating-point
+    accumulation is independent of set-iteration order (PYTHONHASHSEED) and
+    bit-identical to the sweep path, which visits a profile's blocks in the
+    same sorted order.
     """
 
     name = "ARCS"
+
+    #: Tells the sweep kernel to accumulate ``1/||b||`` per co-occurrence
+    #: instead of plain counts.
+    sweep_accumulates_inverse_cardinality = True
 
     def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
         keys_x = collection.blocks_of(pid_x)
@@ -101,13 +175,14 @@ class ARCSScheme:
             return 0.0
         if len(keys_x) > len(keys_y):
             keys_x, keys_y = keys_y, keys_x
+        clean_clean = collection.clean_clean
         total = 0.0
-        for key in keys_x:
+        for key in sorted(keys_x):
             if key in keys_y:
                 block = collection.get(key)
                 if block is None:
                     continue
-                cardinality = block.comparison_count(collection.clean_clean)
+                cardinality = block.comparison_count(clean_clean)
                 if cardinality > 0:
                     total += 1.0 / cardinality
         return total

@@ -9,17 +9,29 @@ inside I-BASE, I-PCS and I-PES: it operates on the candidate list ``C_x`` of
 one newly arrived profile at a time, using the *current* state of the block
 collection to compute weights (an online approximation of the batch
 weights).
+
+Two weighting backends produce bit-identical results:
+
+* :func:`incremental_wnp` — the legacy per-pair path: one
+  ``scheme.weight()`` call per distinct candidate (candidates are
+  de-duplicated in first-appearance order before weighting, so one
+  weighting cost unit is charged per distinct pair);
+* :func:`sweep_wnp` — the single-sweep kernel of
+  :mod:`repro.metablocking.sweep`: candidates and weights from one pass
+  over the profile's (ghosted) block list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.blocking.blocks import BlockCollection
 from repro.core.comparison import WeightedComparison
+from repro.metablocking.sweep import sweep_candidate_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 
-__all__ = ["WNPResult", "incremental_wnp", "batch_wnp_for_profile"]
+__all__ = ["WNPResult", "incremental_wnp", "sweep_wnp", "batch_wnp_for_profile"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +45,36 @@ class WNPResult:
     @property
     def total_candidates(self) -> int:
         return len(self.kept) + self.pruned
+
+
+def _prune_below_average(
+    pid_x: int, candidates: list[int], weights: list[float]
+) -> WNPResult:
+    """The WNP pruning rule: keep comparisons at or above the local average.
+
+    Shared by both weighting backends.  ``sum`` over the weight list adds
+    the floats left-to-right exactly like an explicit accumulation loop, so
+    identical weight lists give identical averages whichever backend
+    produced them.
+    """
+    if not weights:
+        return WNPResult(kept=(), pruned=0, weighting_cost_units=0)
+    average = sum(weights) / len(weights)
+    comparison = WeightedComparison
+    kept = tuple(
+        [
+            comparison(pid_x, pid_y, weight)
+            if pid_x < pid_y
+            else comparison(pid_y, pid_x, weight)
+            for pid_y, weight in zip(candidates, weights)
+            if weight >= average
+        ]
+    )
+    return WNPResult(
+        kept=kept,
+        pruned=len(weights) - len(kept),
+        weighting_cost_units=len(weights),
+    )
 
 
 def incremental_wnp(
@@ -51,7 +93,9 @@ def incremental_wnp(
         The newly arrived profile whose candidate comparisons are cleaned.
     candidate_pids:
         Partner pids co-occurring with ``pid_x`` in at least one (ghosted)
-        block.  Duplicates are tolerated and collapsed.
+        block.  Duplicates are tolerated and collapsed *before* weighting
+        (first appearance wins), so a pair sharing k blocks is weighted —
+        and charged — exactly once.
     scheme:
         Weighting scheme; defaults to CBS as in the paper.
 
@@ -59,46 +103,49 @@ def incremental_wnp(
     the candidate list) along with pruning statistics.
     """
     scheme = scheme or CommonBlocksScheme()
-    unique_partners = set(candidate_pids)
-    unique_partners.discard(pid_x)
-    if not unique_partners:
+    ordered = dict.fromkeys(candidate_pids)
+    ordered.pop(pid_x, None)
+    if not ordered:
         return WNPResult(kept=(), pruned=0, weighting_cost_units=0)
+    candidates = list(ordered)
+    weights = [scheme.weight(collection, pid_x, pid_y) for pid_y in candidates]
+    return _prune_below_average(pid_x, candidates, weights)
 
-    weighted: list[tuple[int, float]] = []
-    total_weight = 0.0
-    for pid_y in unique_partners:
-        weight = scheme.weight(collection, pid_x, pid_y)
-        weighted.append((pid_y, weight))
-        total_weight += weight
-    average = total_weight / len(weighted)
 
-    kept = tuple(
-        WeightedComparison.of(pid_x, pid_y, weight)
-        for pid_y, weight in weighted
-        if weight >= average
+def sweep_wnp(
+    collection: BlockCollection,
+    pid_x: int,
+    valid_partner: Callable[[int], bool] | None,
+    scheme: WeightingScheme | None = None,
+    *,
+    beta: float | None = None,
+    source: int | None = None,
+) -> WNPResult:
+    """I-WNP over the single-sweep weighting kernel.
+
+    Fuses candidate generation (with optional block ghosting ``beta``) and
+    weighting into one pass over ``pid_x``'s block index, then applies the
+    same below-average pruning as :func:`incremental_wnp`.  Emitted
+    comparisons, weights, ordering and cost units are bit-identical to the
+    per-pair path.  ``valid_partner=None`` skips the per-candidate filter
+    (see :func:`~repro.metablocking.sweep.sweep_candidate_weights`).
+    """
+    candidates, weights = sweep_candidate_weights(
+        collection, pid_x, valid_partner, scheme, beta=beta, source=source
     )
-    return WNPResult(
-        kept=kept,
-        pruned=len(weighted) - len(kept),
-        weighting_cost_units=len(weighted),
-    )
+    return _prune_below_average(pid_x, candidates, weights)
 
 
 def batch_wnp_for_profile(
     collection: BlockCollection,
     pid_x: int,
-    valid_partner: "callable",
+    valid_partner: Callable[[int], bool],
     scheme: WeightingScheme | None = None,
 ) -> WNPResult:
     """Batch WNP restricted to one node: gathers candidates from the full
     collection (all co-block partners of ``pid_x``) before pruning.
 
     ``valid_partner(pid_y) -> bool`` filters candidates (e.g. cross-source
-    only for Clean-Clean ER).
+    only for Clean-Clean ER).  Runs on the sweep kernel (no ghosting).
     """
-    partners: set[int] = set()
-    for block in collection.blocks_of_as_blocks(pid_x):
-        for pid_y in block:
-            if pid_y != pid_x and valid_partner(pid_y):
-                partners.add(pid_y)
-    return incremental_wnp(collection, pid_x, list(partners), scheme)
+    return sweep_wnp(collection, pid_x, valid_partner, scheme)

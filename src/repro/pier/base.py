@@ -30,12 +30,22 @@ from repro.core.comparison import WeightedComparison, canonical_pair
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
 from repro.execution.store import ComparisonStore
+from repro.metablocking.sweep import partner_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
-from repro.metablocking.wnp import incremental_wnp
+from repro.metablocking.wnp import incremental_wnp, sweep_wnp
 from repro.priority.rates import AdaptiveK
 from repro.streaming.system import EmitResult, ERSystem, PipelineCosts, PipelineStats
 
 __all__ = ["ComparisonGenerator", "GetComparisons", "IncrPrioritization", "PierSystem"]
+
+
+def _always_valid(pid: int) -> bool:
+    return True
+
+
+#: Marks a partner predicate as constant-true so the sweep kernel can skip
+#: one Python call per candidate (see ``ComparisonGenerator.generate``).
+_always_valid.always_true = True  # type: ignore[attr-defined]
 
 
 class ComparisonGenerator:
@@ -46,17 +56,24 @@ class ComparisonGenerator:
     candidate list with I-WNP.  Returns the surviving weighted comparisons
     together with the number of weighting operations performed (for cost
     accounting).
+
+    By default candidates and weights come from the single-sweep kernel
+    (:func:`~repro.metablocking.wnp.sweep_wnp`); ``per_pair=True`` selects
+    the legacy one-``scheme.weight()``-call-per-candidate path, which is
+    bit-identical and exists for bisection (``--per-pair-weighting``).
     """
 
-    __slots__ = ("beta", "scheme")
+    __slots__ = ("beta", "scheme", "per_pair")
 
     def __init__(
         self,
         beta: float = 0.2,
         scheme: WeightingScheme | None = None,
+        per_pair: bool = False,
     ) -> None:
         self.beta = beta
         self.scheme = scheme or CommonBlocksScheme()
+        self.per_pair = per_pair
 
     def generate(
         self,
@@ -64,14 +81,33 @@ class ComparisonGenerator:
         profile: EntityProfile,
         valid_partner: Callable[[int], bool],
     ) -> tuple[tuple[WeightedComparison, ...], int]:
-        blocks = collection.blocks_of_as_blocks(profile.pid)
-        blocks = block_ghosting(blocks, self.beta)
+        if not self.per_pair:
+            # Drop the per-candidate filter when the predicate declares
+            # itself redundant: a constant-true predicate filters nothing,
+            # and a cross-source-only predicate is already guaranteed by the
+            # sweep reading only other-source member lists (source hint).
+            predicate: Callable[[int], bool] | None = valid_partner
+            if getattr(predicate, "always_true", False) or (
+                collection.clean_clean
+                and getattr(predicate, "cross_source_only", False)
+            ):
+                predicate = None
+            result = sweep_wnp(
+                collection,
+                profile.pid,
+                predicate,
+                self.scheme,
+                beta=self.beta,
+                source=profile.source if collection.clean_clean else None,
+            )
+            return result.kept, result.weighting_cost_units
+        blocks = block_ghosting(list(collection.blocks_of_as_blocks(profile.pid)), self.beta)
         candidates: list[int] = []
         for block in blocks:
             if collection.clean_clean:
                 partners = block.members(1 - profile.source)
             else:
-                partners = list(block)
+                partners = tuple(block)
             for pid in partners:
                 if pid != profile.pid and valid_partner(pid):
                     candidates.append(pid)
@@ -89,12 +125,19 @@ class GetComparisons:
     members afterwards must be revisited once the stream goes quiet.
     Already-executed pairs are filtered out by the caller-supplied
     predicate, so revisits only pay for the genuinely new comparisons.
+
+    Weights come from the sweep kernel, one aggregate sweep per distinct
+    left profile of the drained block (``per_pair=True`` restores the
+    legacy one-call-per-pair weighting; results are bit-identical).
     """
 
-    __slots__ = ("scheme", "_drained_size", "_heap")
+    __slots__ = ("scheme", "per_pair", "_drained_size", "_heap")
 
-    def __init__(self, scheme: WeightingScheme | None = None) -> None:
+    def __init__(
+        self, scheme: WeightingScheme | None = None, per_pair: bool = False
+    ) -> None:
         self.scheme = scheme or CommonBlocksScheme()
+        self.per_pair = per_pair
         self._drained_size: dict[str, int] = {}
         # Cached min-heap of (size, key) over eligible blocks; rebuilt by a
         # full scan only when it runs dry, revalidated lazily on pop.
@@ -140,16 +183,30 @@ class GetComparisons:
         if block is None:
             return None
         self._drained_size[block.key] = len(block)
-        weighted: list[WeightedComparison] = []
-        operations = 0
+        pairs: list[tuple[int, int]] = []
         for pid_x, pid_y in block.pairs(collection.clean_clean):
             pair = canonical_pair(pid_x, pid_y)
             if already_executed(*pair):
                 continue
-            operations += 1
-            weight = self.scheme.weight(collection, *pair)
-            weighted.append(WeightedComparison(pair[0], pair[1], weight))
-        return weighted, operations
+            pairs.append(pair)
+        if self.per_pair:
+            weighted = [
+                WeightedComparison(left, right, self.scheme.weight(collection, left, right))
+                for left, right in pairs
+            ]
+        else:
+            by_left: dict[int, list[int]] = {}
+            for left, right in pairs:
+                by_left.setdefault(left, []).append(right)
+            weights = {
+                left: partner_weights(collection, left, rights, self.scheme)
+                for left, rights in by_left.items()
+            }
+            weighted = [
+                WeightedComparison(left, right, weights[left][right])
+                for left, right in pairs
+            ]
+        return weighted, len(pairs)
 
     def is_exhausted(self, collection: BlockCollection) -> bool:
         return not any(self._eligible(block) for block in collection)
@@ -330,12 +387,19 @@ class PierSystem(ERSystem):
         return self.blocker.collection
 
     def valid_partner(self, profile: EntityProfile) -> Callable[[int], bool]:
-        """Partner predicate for candidate generation of ``profile``."""
+        """Partner predicate for candidate generation of ``profile``.
+
+        The returned predicates carry self-describing markers
+        (``always_true`` / ``cross_source_only``) that let the sweep kernel
+        skip the per-candidate filter when it is provably redundant.
+        """
         if not self.collection.clean_clean:
-            return lambda pid: True
+            return _always_valid
         source = profile.source
         blocker = self.blocker
-        return lambda pid: blocker.profile(pid).source != source
+        predicate = lambda pid: blocker.profile(pid).source != source
+        predicate.cross_source_only = True  # type: ignore[attr-defined]
+        return predicate
 
     def was_executed(self, pid_x: int, pid_y: int) -> bool:
         return self.store.was_executed(pid_x, pid_y)

@@ -98,5 +98,6 @@ def choose_strategy(
 def make_chosen_strategy(sample: Sequence[EntityProfile], **kwargs) -> IncrPrioritization:
     """Instantiate the heuristic's pick."""
     if choose_strategy(sample) == "I-PBS":
-        return IPBS(**{k: v for k, v in kwargs.items() if k in ("scheme", "capacity")})
+        supported = ("scheme", "capacity", "per_pair_weighting")
+        return IPBS(**{k: v for k, v in kwargs.items() if k in supported})
     return IPES(**kwargs)

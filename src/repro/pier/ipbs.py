@@ -32,6 +32,7 @@ from typing import Iterable
 from repro.core.comparison import canonical_pair
 from repro.core.profile import EntityProfile
 from repro.execution.store import ComparisonStore
+from repro.metablocking.sweep import partner_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 from repro.pier.base import IncrPrioritization, PierSystem
 from repro.priority.bloom import ScalableBloomFilter
@@ -50,8 +51,10 @@ class IPBS(IncrPrioritization):
         scheme: WeightingScheme | None = None,
         capacity: int | None = 500_000,
         filter_initial_capacity: int = 4096,
+        per_pair_weighting: bool = False,
     ) -> None:
         self.scheme = scheme or CommonBlocksScheme()
+        self.per_pair_weighting = per_pair_weighting
         self.index: BoundedPriorityQueue[tuple[int, int]] = BoundedPriorityQueue(capacity)
         self.cardinality_index: dict[str, int] = {}
         self.profile_index: dict[str, set[int]] = {}
@@ -147,6 +150,7 @@ class IPBS(IncrPrioritization):
         metrics.count("strategy.blocks_processed")
         # Sorted iteration keeps generation order independent of set-table
         # history, so a checkpoint-restored run replays identically.
+        survivors: list[tuple[int, int]] = []
         for pid_x in sorted(pending):
             profile_x = system.profile(pid_x)
             if collection.clean_clean:
@@ -164,10 +168,24 @@ class IPBS(IncrPrioritization):
                 if system.was_executed(*pair):
                     metrics.count("strategy.skipped_already_executed")
                     continue
-                weight = self.scheme.weight(collection, *pair)
-                self.index.enqueue(pair, (-block_size, weight))
-                metrics.count("strategy.comparisons_enqueued")
-                cost += costs.per_weight + costs.per_enqueue
+                survivors.append(pair)
+        if self.per_pair_weighting:
+            weighted = [
+                (pair, self.scheme.weight(collection, *pair)) for pair in survivors
+            ]
+        else:
+            by_left: dict[int, list[int]] = {}
+            for left, right in survivors:
+                by_left.setdefault(left, []).append(right)
+            weights = {
+                left: partner_weights(collection, left, rights, self.scheme)
+                for left, rights in by_left.items()
+            }
+            weighted = [(pair, weights[pair[0]][pair[1]]) for pair in survivors]
+        for pair, weight in weighted:
+            self.index.enqueue(pair, (-block_size, weight))
+            metrics.count("strategy.comparisons_enqueued")
+            cost += costs.per_weight + costs.per_enqueue
         self._reset_block(key)
         return cost
 

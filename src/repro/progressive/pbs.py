@@ -9,6 +9,7 @@ weight order before moving to the next (larger) block.
 
 from __future__ import annotations
 
+from repro.metablocking.sweep import partner_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 from repro.progressive.base import BatchProgressiveSystem
 
@@ -16,7 +17,13 @@ __all__ = ["PBSSystem"]
 
 
 class PBSSystem(BatchProgressiveSystem):
-    """Progressive Block Scheduling packaged as an ERSystem."""
+    """Progressive Block Scheduling packaged as an ERSystem.
+
+    Opening a block weighs its non-redundant comparisons through the
+    single-sweep kernel, one aggregate sweep per distinct left profile
+    (``per_pair_weighting=True`` restores the legacy per-pair calls;
+    results are bit-identical).
+    """
 
     def __init__(
         self,
@@ -24,12 +31,14 @@ class PBSSystem(BatchProgressiveSystem):
         max_block_size: int | None = 200,
         scheme: WeightingScheme | None = None,
         scope: str = "all",
+        per_pair_weighting: bool = False,
         **kwargs,
     ) -> None:
         super().__init__(
             clean_clean=clean_clean, max_block_size=max_block_size, scope=scope, **kwargs
         )
         self.scheme = scheme or CommonBlocksScheme()
+        self.per_pair_weighting = per_pair_weighting
         self._block_order: list[str] = []
         self._block_cursor = 0
         self._buffer: list[tuple[int, int]] = []
@@ -64,14 +73,27 @@ class PBSSystem(BatchProgressiveSystem):
         cost = self.costs.per_block_open
         if block is None:
             return cost
-        weighted: list[tuple[float, tuple[int, int]]] = []
+        fresh: list[tuple[int, int]] = []
         for pid_x, pid_y in block.pairs(self.collection.clean_clean):
             pair = (min(pid_x, pid_y), max(pid_x, pid_y))
             if pair in self._seen or not self.valid_pair(*pair):
                 continue
             self._seen.add(pair)
-            weighted.append((self.scheme.weight(self.collection, *pair), pair))
+            fresh.append(pair)
             cost += self.costs.per_weight
+        if self.per_pair_weighting:
+            weighted = [
+                (self.scheme.weight(self.collection, *pair), pair) for pair in fresh
+            ]
+        else:
+            by_left: dict[int, list[int]] = {}
+            for left, right in fresh:
+                by_left.setdefault(left, []).append(right)
+            weights = {
+                left: partner_weights(self.collection, left, rights, self.scheme)
+                for left, rights in by_left.items()
+            }
+            weighted = [(weights[pair[0]][pair[1]], pair) for pair in fresh]
         weighted.sort(key=lambda item: -item[0])
         self._buffer.extend(pair for _, pair in weighted)
         return cost

@@ -25,9 +25,36 @@ class TestBlock:
         block.add(1, 0)
         block.add(2, 1)
         block.add(3, 1)
-        assert block.members(0) == [1]
-        assert block.members(1) == [2, 3]
-        assert block.members(9) == []
+        assert block.members(0) == (1,)
+        assert block.members(1) == (2, 3)
+        assert block.members(9) == ()
+
+    def test_members_snapshot_cannot_corrupt_index(self):
+        """members() hands out a copy; mutating it must not touch the block."""
+        block = Block("tok")
+        block.add(1, 0)
+        block.add(2, 0)
+        snapshot = block.members(0)
+        assert isinstance(snapshot, tuple)  # immutable — no .append to misuse
+        assert block.members(0) == (1, 2)
+        assert len(block) == 2
+
+    def test_comparison_count_cache_invalidated_on_add(self):
+        block = Block("tok")
+        block.add(1, 0)
+        block.add(2, 0)
+        assert block.comparison_count(clean_clean=False) == 1
+        block.add(3, 0)
+        assert block.comparison_count(clean_clean=False) == 3
+        # switching the kind must not serve the stale cached value
+        block_cc = Block("tok2")
+        block_cc.add(1, 0)
+        block_cc.add(2, 1)
+        assert block_cc.comparison_count(clean_clean=False) == 1
+        assert block_cc.comparison_count(clean_clean=True) == 1
+        block_cc.add(3, 1)
+        assert block_cc.comparison_count(clean_clean=True) == 2
+        assert block_cc.comparison_count(clean_clean=False) == 3
 
     def test_comparison_count_dirty(self):
         block = Block("tok")
@@ -160,6 +187,54 @@ class TestBlockCollection:
             block.comparison_count(collection.clean_clean) for block in collection
         )
         assert collection.total_comparisons() == recomputed
+
+    def test_key_id_dense_interning(self):
+        collection = BlockCollection()
+        collection.add_profile(make_profile(1, "alpha beta"))
+        collection.add_profile(make_profile(2, "beta gamma"))
+        ids = {key: collection.key_id(key) for key in ("alpha", "beta", "gamma")}
+        assert sorted(ids.values()) == [0, 1, 2]
+        # interning is stable: asking again returns the same id
+        assert collection.key_id("beta") == ids["beta"]
+        for key, kid in ids.items():
+            assert collection.get(key).bid == kid
+
+    def test_block_count_of_matches_blocks_of(self):
+        collection = BlockCollection(max_block_size=3)
+        for pid in range(5):
+            collection.add_profile(make_profile(pid, "shared own%d" % pid))
+        for pid in range(5):
+            assert collection.block_count_of(pid) == len(collection.blocks_of(pid))
+        assert collection.block_count_of(99) == 0
+
+    def test_iter_partner_blocks_skips_purged_and_sorted(self):
+        collection = BlockCollection(max_block_size=3)
+        for pid in range(5):
+            collection.add_profile(make_profile(pid, "zzshared aaown%d" % pid))
+        blocks = collection.iter_partner_blocks(0)
+        assert [block.key for block in blocks] == ["aaown0"]  # purged 'zzshared' gone
+        # cache refreshes after a purge triggered by later arrivals
+        collection.add_profile(make_profile(10, "aaown0 fresh"))
+        collection.add_profile(make_profile(11, "aaown0 other"))
+        collection.add_profile(make_profile(12, "aaown0 more"))
+        assert [block.key for block in collection.iter_partner_blocks(0)] == []
+
+    def test_partner_counts_dirty(self):
+        collection = BlockCollection(max_block_size=None)
+        collection.add_profile(make_profile(1, "alpha beta"))
+        collection.add_profile(make_profile(2, "beta gamma"))
+        collection.add_profile(make_profile(3, "alpha beta gamma"))
+        counts = collection.partner_counts(1)
+        assert counts == {2: 1, 3: 2}
+        assert 1 not in counts
+
+    def test_partner_counts_clean_clean_cross_source(self):
+        collection = BlockCollection(clean_clean=True, max_block_size=None)
+        collection.add_profile(make_profile(1, "alpha beta", source=0))
+        collection.add_profile(make_profile(2, "alpha beta", source=0))
+        collection.add_profile(make_profile(3, "alpha", source=1))
+        counts = collection.partner_counts(1, source=0)
+        assert counts == {3: 1}  # same-source partner 2 excluded
 
     def test_inverse_index_consistency(self):
         collection = BlockCollection(max_block_size=10)
