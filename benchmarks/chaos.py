@@ -27,11 +27,8 @@ import traceback
 from pathlib import Path
 from typing import Sequence
 
-from repro.core.increments import make_stream_plan, split_into_increments
-from repro.datasets.registry import load_dataset
-from repro.evaluation.experiments import make_matcher, make_system
-from repro.resilience import FaultSpec, FaultyMatcher, ResilienceConfig, RetryPolicy, apply_faults
-from repro.streaming.engine import StreamingEngine
+from repro.api import ERSession
+from repro.resilience import FaultSpec, ResilienceConfig, RetryPolicy
 
 from benchmarks.smoke import diff_schema
 
@@ -61,11 +58,6 @@ CONFIG = {
 
 def build_snapshot() -> dict:
     """Run the chaos configuration; raises if any strategy fails to finish."""
-    dataset = load_dataset(CONFIG["dataset"], scale=CONFIG["scale"])
-    increments = split_into_increments(dataset, CONFIG["n_increments"], seed=CONFIG["seed"])
-    plan = make_stream_plan(increments, rate=CONFIG["rate"])
-    report = apply_faults(plan, FaultSpec.chaos(CONFIG["fault_seed"]))
-    print(report.summary())
     knobs = CONFIG["resilience"]
     resilience = ResilienceConfig(
         retry=RetryPolicy(max_attempts=knobs["max_attempts"]),
@@ -73,11 +65,23 @@ def build_snapshot() -> dict:
         shed_watermark=knobs["shed_watermark"],
         checkpoint_every=knobs["checkpoint_every"],
     )
+    with ERSession(
+        CONFIG["dataset"],
+        systems=tuple(CONFIG["systems"]),
+        matcher=CONFIG["matcher"],
+        scale=CONFIG["scale"],
+        n_increments=CONFIG["n_increments"],
+        rate=CONFIG["rate"],
+        budget=CONFIG["budget"],
+        seed=CONFIG["seed"],
+        faults=FaultSpec.chaos(CONFIG["fault_seed"]),
+        resilience=resilience,
+    ) as session:
+        results = session.compare()
+        report = session.fault_reports[0]
+    print(report.summary())
     systems: dict[str, dict] = {}
-    for name in CONFIG["systems"]:
-        matcher = FaultyMatcher(make_matcher(CONFIG["matcher"]), seed=CONFIG["fault_seed"])
-        engine = StreamingEngine(matcher, budget=CONFIG["budget"], resilience=resilience)
-        result = engine.run(make_system(name, dataset), report.plan, dataset.ground_truth)
+    for name, result in results.items():
         metrics = dict(result.details["metrics"])
         metrics["phases"] = {
             phase: {key: value for key, value in totals.items() if key != "wall_s"}

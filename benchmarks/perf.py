@@ -20,6 +20,15 @@ execution core and gates against regressions:
   and both paths must emit bit-identical comparison streams (re-verified
   on every run).
 
+* **parallel matching** — one full resolution through
+  :class:`repro.api.ERSession` at ``workers=4`` versus ``workers=1``.
+  The sharded run must stay bit-identical to serial — curve, duplicates,
+  comparison count, virtual clock, telemetry-stripped metrics, and the
+  checkpoint fingerprint are all re-verified on every run — and must reach
+  ``MIN_PARALLEL_SPEEDUP``× on hosts with at least
+  ``PARALLEL_GATE_MIN_CORES`` cores (the wall-clock gate is recorded but
+  not enforced on smaller hosts, where a process pool cannot win).
+
 Unlike the smoke/chaos baselines, every recorded value here is wall-clock
 (host-dependent), so the checked-in ``BENCH_perf.json`` is refreshed only
 with ``--update``; a plain run gates on the *structure* of the payload
@@ -32,6 +41,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import random
 import sys
 import time
@@ -39,11 +49,13 @@ import tracemalloc
 from pathlib import Path
 from typing import Sequence
 
+from repro.api import ERSession
 from repro.blocking.blocks import BlockCollection
 from repro.core.dataset import ERKind
 from repro.datasets.registry import load_dataset
-from repro.evaluation.experiments import make_matcher
+from repro.evaluation.experiments import _build_matcher
 from repro.metablocking.weights import make_scheme
+from repro.parallel import strip_parallel_telemetry
 from repro.pier.base import ComparisonGenerator
 from repro.priority.bounded_pq import BoundedPriorityQueue
 
@@ -65,6 +77,17 @@ CONFIG = {
     "prioritization_max_block_size": 200,
     "schemes": ["CBS", "ECBS", "JS", "ARCS"],
     "beta": 0.2,
+    "parallel": {
+        "dataset": "dblp_acm",
+        "scale": 0.2,
+        "system": "BATCH",
+        "matcher": "ED",
+        "n_increments": 10,
+        "budget": 60.0,
+        "checkpoint_every": 5.0,
+        "workers": 4,
+        "repeats": 3,
+    },
 }
 
 #: The batched JS kernel must amortize at least this much per-pair dispatch.
@@ -73,6 +96,11 @@ MIN_JS_SPEEDUP = 2.0
 #: The single-sweep weighting kernel must beat the per-pair path by at
 #: least this much on CBS (the paper's default scheme).
 MIN_CBS_SWEEP_SPEEDUP = 3.0
+
+#: The sharded matcher fleet must beat the serial run by at least this
+#: much — enforced only on hosts with enough cores to make it possible.
+MIN_PARALLEL_SPEEDUP = 2.0
+PARALLEL_GATE_MIN_CORES = 4
 
 
 class _DictBackedQueue:
@@ -114,8 +142,8 @@ def _best_of(repeats: int, fn) -> float:
 def _bench_matcher(name: str, pairs, repeats: int) -> dict:
     # Warm any internal caches (the ED text cache) outside the timed region
     # so both paths see identical cache state.
-    scalar_matcher = make_matcher(name)
-    batched_matcher = make_matcher(name)
+    scalar_matcher = _build_matcher(name)
+    batched_matcher = _build_matcher(name)
     scalar_results = [scalar_matcher.evaluate(x, y) for x, y in pairs]
     batched_results = batched_matcher.evaluate_batch(pairs)
     mismatches = sum(
@@ -232,6 +260,115 @@ def _bench_prioritization(dataset, repeats: int) -> dict:
     return per_scheme
 
 
+def _stable_metrics(snapshot: dict) -> dict:
+    """Metrics with everything host-dependent removed: wall-clock phase
+    timings and the parallel telemetry (worker gauge, shard counters)."""
+    snapshot = strip_parallel_telemetry(snapshot)
+    snapshot["phases"] = {
+        phase: {key: value for key, value in totals.items() if key != "wall_s"}
+        for phase, totals in snapshot["phases"].items()
+    }
+    return snapshot
+
+
+def _checkpoint_fingerprint(checkpoint) -> tuple:
+    """The deterministic portion of a checkpoint (wall timings removed).
+
+    Mid-run telemetry never reaches the metrics registry (parallel counters
+    accumulate on run state and flush at finalize), so checkpoint metrics
+    need no parallel stripping — only the host wall clocks go.
+    """
+    metrics_state = dict(checkpoint.metrics_state)
+    metrics_state["phases"] = {
+        phase: (virtual_s, count)
+        for phase, (virtual_s, _wall_s, count) in metrics_state["phases"].items()
+    }
+    return (
+        checkpoint.engine,
+        checkpoint.budget,
+        checkpoint.plan_fingerprint,
+        checkpoint.clock,
+        checkpoint.ingest_clock,
+        checkpoint.next_arrival,
+        checkpoint.consumed_at,
+        checkpoint.rounds,
+        checkpoint.ingested,
+        checkpoint.shed,
+        checkpoint.duplicates_dropped,
+        checkpoint.seen_increments,
+        checkpoint.duplicates,
+        checkpoint.quarantined,
+        checkpoint.recorder_state,
+        checkpoint.estimator_state,
+        metrics_state,
+    )
+
+
+def _parallel_session(knobs: dict, workers: int) -> ERSession:
+    return ERSession(
+        knobs["dataset"],
+        systems=(knobs["system"],),
+        matcher=knobs["matcher"],
+        scale=knobs["scale"],
+        n_increments=knobs["n_increments"],
+        rate=None,
+        budget=knobs["budget"],
+        checkpoint_every=knobs["checkpoint_every"],
+        workers=workers,
+    )
+
+
+def _bench_parallel() -> dict:
+    """End-to-end ERSession run, sharded fleet versus serial."""
+    knobs = CONFIG["parallel"]
+    observable = {}
+    fingerprints = {}
+    walls = {}
+    counters = {}
+    for workers in (1, knobs["workers"]):
+        # One session per worker count: the pool spawns once (outside the
+        # timed region, like any warmup) and is reused across repeats.
+        with _parallel_session(knobs, workers) as session:
+            result = session.run()
+            observable[workers] = {
+                "curve": result.curve.points,
+                "duplicates": sorted(result.duplicates),
+                "comparisons_executed": result.comparisons_executed,
+                "clock_end": result.clock_end,
+                "metrics": _stable_metrics(result.details["metrics"]),
+            }
+            fingerprints[workers] = _checkpoint_fingerprint(session.last_checkpoint)
+            counters[workers] = result.details["metrics"]["counters"]
+            walls[workers] = _best_of(knobs["repeats"], session.run)
+
+    if observable[1] != observable[knobs["workers"]]:
+        raise AssertionError(
+            "parallel: sharded run diverged from serial "
+            "(curve/duplicates/comparisons/clock/metrics)"
+        )
+    if fingerprints[1] != fingerprints[knobs["workers"]]:
+        raise AssertionError(
+            "parallel: checkpoint fingerprint diverged between worker counts"
+        )
+
+    sharded = counters[knobs["workers"]]
+    cores = os.cpu_count() or 1
+    speedup = walls[1] / walls[knobs["workers"]]
+    return {
+        "workers": knobs["workers"],
+        "cores_detected": cores,
+        "gate_enforced": cores >= PARALLEL_GATE_MIN_CORES,
+        "comparisons": observable[1]["comparisons_executed"],
+        "rounds_sharded": int(sharded.get("parallel.rounds_sharded", 0)),
+        "pairs_sharded": int(sharded.get("parallel.pairs_sharded", 0)),
+        "pool_fallbacks": int(sharded.get("parallel.fallbacks", 0)),
+        "serial_wall_s": round(walls[1], 6),
+        "parallel_wall_s": round(walls[knobs["workers"]], 6),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+
+
 def build_snapshot() -> dict:
     dataset = load_dataset(CONFIG["dataset"], scale=CONFIG["scale"])
     pairs = _sample_pairs(dataset, CONFIG["n_pairs"], CONFIG["sample_seed"])
@@ -244,6 +381,7 @@ def build_snapshot() -> dict:
         },
         "slots": _bench_slots(),
         "prioritization": _bench_prioritization(dataset, CONFIG["repeats"]),
+        "parallel": _bench_parallel(),
     }
 
 
@@ -284,6 +422,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"speedup={entry['speedup']:.2f}x"
         )
 
+    parallel = payload["parallel"]
+    gate_note = "enforced" if parallel["gate_enforced"] else (
+        f"not enforced, {parallel['cores_detected']} core(s)"
+    )
+    print(
+        f"parallel: serial={parallel['serial_wall_s']:.4f}s "
+        f"workers={parallel['workers']} -> {parallel['parallel_wall_s']:.4f}s "
+        f"speedup={parallel['speedup']:.2f}x "
+        f"({parallel['pairs_sharded']} pairs sharded, gate {gate_note})"
+    )
+
     failures = []
     js_speedup = payload["batched_matching"]["JS"]["speedup"]
     if js_speedup < MIN_JS_SPEEDUP:
@@ -301,6 +450,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     for scheme_name, entry in payload["prioritization"].items():
         if not entry["bit_identical"]:
             failures.append(f"{scheme_name}: sweep stream diverged from per-pair")
+    if not parallel["bit_identical"]:
+        failures.append("parallel: sharded run diverged from serial")
+    if parallel["rounds_sharded"] == 0:
+        failures.append("parallel: worker pool never sharded a round")
+    if parallel["gate_enforced"] and parallel["speedup"] < MIN_PARALLEL_SPEEDUP:
+        failures.append(
+            f"parallel speedup {parallel['speedup']:.2f}x below the "
+            f"{MIN_PARALLEL_SPEEDUP}x gate on a {parallel['cores_detected']}-core host"
+        )
 
     if args.out.exists() and not args.update:
         baseline = json.loads(args.out.read_text())

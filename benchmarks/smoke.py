@@ -22,10 +22,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.core.increments import make_stream_plan, split_into_increments
-from repro.datasets.registry import load_dataset
-from repro.evaluation.experiments import make_matcher, make_system
-from repro.streaming.engine import StreamingEngine
+from repro.api import ERSession
 
 BENCH_SCHEMA_VERSION = 1
 DEFAULT_BASELINE = Path(__file__).parent / "BENCH_smoke.json"
@@ -47,13 +44,19 @@ CONFIG = {
 
 def build_snapshot() -> dict:
     """Run the smoke configuration and collect one entry per system."""
-    dataset = load_dataset(CONFIG["dataset"], scale=CONFIG["scale"])
-    increments = split_into_increments(dataset, CONFIG["n_increments"], seed=CONFIG["seed"])
-    plan = make_stream_plan(increments, rate=CONFIG["rate"])
+    with ERSession(
+        CONFIG["dataset"],
+        systems=tuple(CONFIG["systems"]),
+        matcher=CONFIG["matcher"],
+        scale=CONFIG["scale"],
+        n_increments=CONFIG["n_increments"],
+        rate=CONFIG["rate"],
+        budget=CONFIG["budget"],
+        seed=CONFIG["seed"],
+    ) as session:
+        results = session.compare()
     systems: dict[str, dict] = {}
-    for name in CONFIG["systems"]:
-        engine = StreamingEngine(make_matcher(CONFIG["matcher"]), budget=CONFIG["budget"])
-        result = engine.run(make_system(name, dataset), plan, dataset.ground_truth)
+    for name, result in results.items():
         metrics = dict(result.details["metrics"])
         # Rebuild the snapshot without host-dependent wall-clock fields.
         metrics["phases"] = {

@@ -65,6 +65,10 @@ from repro.resilience import (
 from repro.streaming import RunResult, StreamingEngine
 from repro.streaming.pipelined import PipelinedStreamingEngine
 
+# The session facade composes everything above, so it imports last.
+from repro.api import ERSession, EngineOptions
+from repro.parallel import WorkerPool, WorkerPoolError, strip_parallel_telemetry
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -72,8 +76,10 @@ __all__ = [
     "BatchERSystem",
     "Dataset",
     "ERKind",
+    "ERSession",
     "EditDistanceMatcher",
     "EngineCheckpoint",
+    "EngineOptions",
     "EntityProfile",
     "ExperimentConfig",
     "FaultReport",
@@ -101,6 +107,9 @@ __all__ = [
     "StreamPlan",
     "StreamingEngine",
     "TransientMatcherError",
+    "WorkerPool",
+    "WorkerPoolError",
+    "strip_parallel_telemetry",
     "apply_faults",
     "available_datasets",
     "load_dataset",
@@ -121,6 +130,7 @@ def resolve_stream(
     rate: float | None = None,
     budget: float = 300.0,
     seed: int = 0,
+    workers: int = 1,
 ) -> RunResult:
     """One-call progressive incremental ER over a dataset.
 
@@ -128,10 +138,21 @@ def resolve_stream(
     ΔD per virtual second (``None`` = all available upfront), runs
     ``algorithm`` with the ``matcher`` configuration under a virtual time
     ``budget``, and returns the run result with its PC progress curve and
-    the duplicate set found.
+    the duplicate set found.  ``workers > 1`` shards matcher evaluation
+    across a process pool with bit-identical results.
+
+    Thin wrapper over :class:`repro.api.ERSession` — batch baselines
+    (PPS/PBS/BATCH/…-PSN) in the static setting therefore receive the full
+    dataset as one increment, matching ``run_experiment`` and the paper.
     """
-    increments = split_into_increments(dataset, n_increments, seed=seed)
-    plan = make_stream_plan(increments, rate=rate)
-    system = make_system(algorithm, dataset)
-    engine = StreamingEngine(make_matcher(matcher), budget=budget)
-    return engine.run(system, plan, dataset.ground_truth)
+    with ERSession(
+        dataset,
+        systems=(algorithm,),
+        matcher=matcher,
+        n_increments=n_increments,
+        rate=rate,
+        budget=budget,
+        seed=seed,
+        workers=workers,
+    ) as session:
+        return session.run()

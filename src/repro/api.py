@@ -1,0 +1,352 @@
+"""The unified session API: one typed builder for every way to run ER.
+
+Before this module, running a resolution meant composing five surfaces by
+hand — ``load_dataset`` + ``split_into_increments`` + ``make_stream_plan``
++ ``make_system``/``make_matcher`` + picking an engine class — and each
+driver (``resolve_stream``, the CLI, the three benchmark drivers,
+``run_experiment``) repeated the dance with its own defaults and its own
+bugs.  :class:`ERSession` is that composition, written once:
+
+    from repro.api import ERSession
+
+    with ERSession("dblp_acm", systems=("I-PES", "I-BASE"), matcher="ED",
+                   n_increments=50, rate=5.0, budget=60.0, workers=4) as session:
+        results = session.compare()
+
+Engine behavior knobs (the CLI's escape hatches, previously unreachable
+from Python) travel in one :class:`EngineOptions` value; ``workers``
+switches on the process-parallel layer (:mod:`repro.parallel`): Tier A
+shards matcher scoring inside each run, Tier B fans independent
+``compare`` cells across processes.  Either way results are bit-identical
+to ``workers=1`` — parallelism here is an executor choice, never a
+semantics choice.
+
+Semantics note: batch baselines (PPS/PBS/BATCH/…-PSN) in the static
+setting (``rate=None``) always receive the whole dataset as a single
+increment, exactly how the paper runs them.  ``run_experiment`` always did
+this; the session API extends it to every entry point (``resolve_stream``,
+the CLI), which previously streamed ``n_increments`` pieces at batch
+systems in static runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.dataset import Dataset, GroundTruth
+from repro.core.increments import StreamPlan, make_stream_plan, split_into_increments
+from repro.datasets.registry import load_dataset
+from repro.evaluation.experiments import (
+    BATCH_SYSTEMS,
+    ExperimentConfig,
+    _build_matcher,
+    _build_system,
+)
+from repro.matching.matcher import Matcher
+from repro.resilience.checkpoint import EngineCheckpoint
+from repro.resilience.faults import FaultReport, FaultSpec, FaultyMatcher, apply_faults
+from repro.resilience.retry import ResilienceConfig
+from repro.streaming.engine import RunResult, StreamingEngine
+from repro.streaming.pipelined import PipelinedStreamingEngine
+
+__all__ = ["EngineOptions", "ERSession", "run_cell"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineOptions:
+    """How the engine executes — never *what* it computes.
+
+    Every field preserves bit-identical results; these are the CLI escape
+    hatches (``--pipelined``, ``--scalar-matching``, ``--per-pair-weighting``,
+    ``--workers``) as one first-class, picklable value that
+    :class:`ExperimentConfig` can finally carry.
+    """
+
+    pipelined: bool = False
+    scalar_matching: bool = False
+    per_pair_weighting: bool = False
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class ERSession:
+    """One resolution session: dataset × stream shape × systems × engine.
+
+    The constructor only records configuration; datasets load and pools
+    spawn lazily on first use.  A session owns at most one Tier A
+    :class:`~repro.parallel.pool.WorkerPool`, shared across every run it
+    executes — use the session as a context manager (or call
+    :meth:`close`) to shut the fleet down deterministically.
+
+    Parameters
+    ----------
+    dataset:
+        A registry name (loaded at ``scale``) or an in-memory
+        :class:`~repro.core.dataset.Dataset`.
+    systems:
+        System name(s) by paper name; a single string is accepted.
+    matcher:
+        ``"JS"`` or ``"ED"``.
+    engine:
+        An :class:`EngineOptions`; ``None`` means all defaults.
+    workers:
+        Shorthand overriding ``engine.workers``.
+    faults:
+        ``None`` (default), a seed for :meth:`FaultSpec.chaos`, or a full
+        :class:`FaultSpec`.  Perturbs the stream plan and wraps the matcher
+        with :class:`FaultyMatcher`; fault reports accumulate on
+        :attr:`fault_reports`.
+    checkpoint_every / resilience:
+        Checkpoint cadence override and the full resilience knob set,
+        passed through to the engine.
+    """
+
+    def __init__(
+        self,
+        dataset: str | Dataset,
+        *,
+        systems: str | Sequence[str] = ("I-PES",),
+        matcher: str = "JS",
+        engine: EngineOptions | None = None,
+        scale: float = 1.0,
+        n_increments: int = 100,
+        rate: float | None = None,
+        budget: float = 300.0,
+        seed: int = 0,
+        workers: int | None = None,
+        faults: int | FaultSpec | None = None,
+        checkpoint_every: float | None = None,
+        resilience: ResilienceConfig | None = None,
+    ) -> None:
+        self._dataset_arg = dataset
+        self.systems: tuple[str, ...] = (
+            (systems,) if isinstance(systems, str) else tuple(systems)
+        )
+        if not self.systems:
+            raise ValueError("systems must name at least one system")
+        self.matcher_name = matcher
+        engine = engine or EngineOptions()
+        if workers is not None:
+            engine = replace(engine, workers=workers)
+        self.engine_options = engine
+        self.scale = scale
+        self.n_increments = n_increments
+        self.rate = rate
+        self.budget = budget
+        self.seed = seed
+        if faults is None or isinstance(faults, FaultSpec):
+            self.fault_spec: FaultSpec | None = faults
+        else:
+            self.fault_spec = FaultSpec.chaos(int(faults))
+        self.checkpoint_every = checkpoint_every
+        self.resilience = resilience
+        #: One :class:`FaultReport` per distinct stream plan the session
+        #: built under a fault spec (at most two: streaming + batch-static).
+        self.fault_reports: list[FaultReport] = []
+        #: The engine's latest checkpoint after each :meth:`run`.
+        self.last_checkpoint: EngineCheckpoint | None = None
+        self._dataset: Dataset | None = dataset if isinstance(dataset, Dataset) else None
+        self._plans: dict[bool, StreamPlan] = {}
+        self._pool = None
+        self._pool_attempted = False
+
+    # ------------------------------------------------------------------
+    # Lazy building blocks
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        if self._dataset is None:
+            self._dataset = load_dataset(self._dataset_arg, scale=self.scale)
+        return self._dataset
+
+    @property
+    def ground_truth(self) -> GroundTruth:
+        return self.dataset.ground_truth
+
+    def plan_for(self, system_name: str) -> StreamPlan:
+        """The (cached) stream plan this system runs against.
+
+        Batch baselines in the static setting get the whole dataset as one
+        increment; everything else gets the ``n_increments`` split.  Plans
+        are built once per session — shared, not re-split, across systems
+        (``run_experiment`` used to recompute the single-increment split
+        for every batch system in the loop).
+        """
+        single = system_name.upper() in BATCH_SYSTEMS and self.rate is None
+        plan = self._plans.get(single)
+        if plan is None:
+            increments = split_into_increments(
+                self.dataset, 1 if single else self.n_increments, seed=self.seed
+            )
+            plan = make_stream_plan(increments, rate=self.rate)
+            if self.fault_spec is not None:
+                report = apply_faults(plan, self.fault_spec)
+                self.fault_reports.append(report)
+                plan = report.plan
+            self._plans[single] = plan
+        return plan
+
+    def build_matcher(self) -> Matcher:
+        """A fresh matcher for one run (fault-wrapped when configured).
+
+        Fresh per run so a fault schedule always starts from its seed —
+        every system of a comparison sees the same perturbation sequence.
+        """
+        matcher = _build_matcher(self.matcher_name)
+        if self.fault_spec is not None:
+            matcher = FaultyMatcher(matcher, seed=self.fault_spec.seed)
+        return matcher
+
+    def build_system(self, system_name: str):
+        return _build_system(
+            system_name,
+            self.dataset,
+            per_pair_weighting=self.engine_options.per_pair_weighting,
+        )
+
+    def build_engine(self, matcher: Matcher) -> StreamingEngine:
+        options = self.engine_options
+        engine_cls = PipelinedStreamingEngine if options.pipelined else StreamingEngine
+        return engine_cls(
+            matcher,
+            budget=self.budget,
+            resilience=self.resilience,
+            checkpoint_every=self.checkpoint_every,
+            batch_matching=not options.scalar_matching,
+            workers=options.workers,
+            pool=self._shared_pool(matcher),
+        )
+
+    def _shared_pool(self, matcher: Matcher):
+        """The session-owned Tier A pool (spawned once, reused per run)."""
+        options = self.engine_options
+        if (
+            options.workers <= 1
+            or options.scalar_matching
+            or not matcher.supports_batch
+        ):
+            return None
+        if self._pool is None and not self._pool_attempted:
+            self._pool_attempted = True
+            from repro.parallel.pool import WorkerPool
+
+            self._pool = WorkerPool.create(options.workers, matcher)
+        pool = self._pool
+        return pool if pool is not None and pool.healthy else None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        system: str | None = None,
+        *,
+        resume_from: EngineCheckpoint | None = None,
+    ) -> RunResult:
+        """Run one system (the first configured one by default)."""
+        name = system if system is not None else self.systems[0]
+        matcher = self.build_matcher()
+        engine = self.build_engine(matcher)
+        result = engine.run(
+            self.build_system(name),
+            self.plan_for(name),
+            self.ground_truth,
+            resume_from=resume_from,
+        )
+        self.last_checkpoint = engine.last_checkpoint
+        return result
+
+    def compare(self, *, parallel_cells: bool | None = None) -> dict[str, RunResult]:
+        """Run every configured system; results keyed in configuration order.
+
+        With ``workers > 1`` the independent cells fan out across processes
+        (Tier B) when nothing forces them in-process: fault injection and
+        checkpoint capture need the session's own state, so those
+        comparisons run serially (each run still sharding through Tier A).
+        ``parallel_cells=False`` is the explicit escape hatch.
+        """
+        workers = self.engine_options.workers
+        fan_out = workers > 1 and len(self.systems) > 1
+        if parallel_cells is not None:
+            fan_out = fan_out and parallel_cells
+        fan_out = (
+            fan_out
+            and self.fault_spec is None
+            and self.checkpoint_every is None
+            and self.resilience is None
+        )
+        if fan_out:
+            from repro.parallel.cells import run_cells
+
+            results = run_cells(self.to_config(), self.systems, workers=workers)
+            return dict(zip(self.systems, results))
+        return {name: self.run(name) for name in self.systems}
+
+    # ------------------------------------------------------------------
+    # Interop with the ExperimentConfig surface
+    # ------------------------------------------------------------------
+    def to_config(self) -> ExperimentConfig:
+        """This session as a picklable :class:`ExperimentConfig` cell spec."""
+        if isinstance(self._dataset_arg, str):
+            dataset_name, dataset = self._dataset_arg, None
+        else:
+            dataset_name, dataset = self._dataset_arg.name, self._dataset_arg
+        return ExperimentConfig(
+            dataset_name=dataset_name,
+            systems=self.systems,
+            matcher=self.matcher_name,
+            scale=self.scale,
+            n_increments=self.n_increments,
+            rate=self.rate,
+            budget=self.budget,
+            seed=self.seed,
+            dataset=dataset,
+            engine=self.engine_options,
+        )
+
+    @classmethod
+    def from_config(
+        cls, config: ExperimentConfig, systems: Sequence[str] | None = None
+    ) -> "ERSession":
+        return cls(
+            config.dataset if config.dataset is not None else config.dataset_name,
+            systems=tuple(systems) if systems is not None else config.systems,
+            matcher=config.matcher,
+            engine=config.engine,
+            scale=config.scale,
+            n_increments=config.n_increments,
+            rate=config.rate,
+            budget=config.budget,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the session's worker pool, if one was ever started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._pool_attempted = False
+
+    def __enter__(self) -> "ERSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def run_cell(config: ExperimentConfig, system_name: str) -> RunResult:
+    """Execute one comparison cell — the unit Tier B fans out.
+
+    Both the serial comparison loop and the process-pool children resolve a
+    cell through this one function, which is what makes parallel collation
+    result-identical to serial execution by construction.
+    """
+    with ERSession.from_config(config, systems=(system_name,)) as session:
+        return session.run(system_name)

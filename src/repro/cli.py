@@ -19,14 +19,11 @@ import json
 import sys
 from typing import Sequence
 
-from repro.core.increments import make_stream_plan, split_into_increments
+from repro.api import EngineOptions, ERSession
 from repro.datasets.registry import available_datasets, load_dataset
-from repro.evaluation.experiments import SYSTEM_NAMES, make_matcher, make_system
+from repro.evaluation.experiments import SYSTEM_NAMES
 from repro.evaluation.io import run_result_to_json, write_curve_csv
 from repro.evaluation.reporting import format_table, pc_over_time_table, summary_table
-from repro.resilience import FaultSpec, FaultyMatcher, apply_faults
-from repro.streaming.engine import StreamingEngine
-from repro.streaming.pipelined import PipelinedStreamingEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -43,7 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_stream_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--dataset", default="dblp_acm", choices=available_datasets())
         sub.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
-        sub.add_argument("--increments", type=int, default=100, help="number of increments")
+        sub.add_argument(
+            "--increments", "--n-increments", dest="n_increments", type=int,
+            default=100, metavar="N",
+            help="number of increments (Python API name: n_increments)",
+        )
         sub.add_argument(
             "--rate", type=float, default=None,
             help="increment arrival rate in dD/s (omit for the static setting)",
@@ -77,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--checkpoint-every", type=float, default=None, metavar="SECONDS",
             help="checkpoint engine state every SECONDS of virtual time",
         )
+        sub.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="shard matcher evaluation (run) and comparison cells "
+                 "(compare) across N worker processes; results are "
+                 "bit-identical for every N (--workers 1 is the serial "
+                 "escape hatch)",
+        )
 
     run_parser = subparsers.add_parser("run", help="run one algorithm over a stream")
     run_parser.add_argument("--algorithm", default="I-PES", choices=list(SYSTEM_NAMES))
@@ -101,28 +109,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine(args, matcher):
-    cls = PipelinedStreamingEngine if args.pipelined else StreamingEngine
-    return cls(
-        matcher,
+def _session(args, systems) -> ERSession:
+    """The one place CLI arguments become an :class:`ERSession`."""
+    return ERSession(
+        args.dataset,
+        systems=systems,
+        matcher=args.matcher,
+        engine=EngineOptions(
+            pipelined=args.pipelined,
+            scalar_matching=args.scalar_matching,
+            per_pair_weighting=args.per_pair_weighting,
+            workers=args.workers,
+        ),
+        scale=args.scale,
+        n_increments=args.n_increments,
+        rate=args.rate,
         budget=args.budget,
+        seed=args.seed,
+        faults=args.faults,
         checkpoint_every=args.checkpoint_every,
-        batch_matching=not args.scalar_matching,
     )
 
 
-def _run_one(args, dataset, algorithm: str):
-    increments = split_into_increments(dataset, args.increments, seed=args.seed)
-    plan = make_stream_plan(increments, rate=args.rate)
-    matcher = make_matcher(args.matcher)
-    if args.faults is not None:
-        report = apply_faults(plan, FaultSpec.chaos(args.faults))
+def _print_fault_reports(session: ERSession) -> None:
+    for report in session.fault_reports:
         print(report.summary(), file=sys.stderr)
-        plan = report.plan
-        matcher = FaultyMatcher(matcher, seed=args.faults)
-    system = make_system(algorithm, dataset, per_pair_weighting=args.per_pair_weighting)
-    engine = _engine(args, matcher)
-    return engine.run(system, plan, dataset.ground_truth)
 
 
 def _command_datasets() -> int:
@@ -143,8 +154,9 @@ def _command_datasets() -> int:
 
 
 def _command_run(args) -> int:
-    dataset = load_dataset(args.dataset, scale=args.scale)
-    result = _run_one(args, dataset, args.algorithm)
+    with _session(args, (args.algorithm,)) as session:
+        result = session.run()
+        _print_fault_reports(session)
     times = [args.budget * f for f in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)]
     print(pc_over_time_table({args.algorithm: result}, times))
     print()
@@ -165,10 +177,9 @@ def _command_run(args) -> int:
 
 
 def _command_compare(args) -> int:
-    dataset = load_dataset(args.dataset, scale=args.scale)
-    results = {}
-    for algorithm in args.algorithms:
-        results[algorithm] = _run_one(args, dataset, algorithm)
+    with _session(args, tuple(args.algorithms)) as session:
+        results = session.compare()
+        _print_fault_reports(session)
     times = [args.budget * f for f in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)]
     print(pc_over_time_table(results, times))
     print()

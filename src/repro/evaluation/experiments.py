@@ -9,10 +9,14 @@ one :class:`RunResult` per algorithm.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import EngineOptions
 
 from repro.core.dataset import Dataset, ERKind
-from repro.core.increments import make_stream_plan, split_into_increments
 from repro.datasets.registry import load_dataset
 from repro.incremental.ibase import IBaseSystem
 from repro.matching.matcher import EditDistanceMatcher, JaccardMatcher, Matcher
@@ -25,7 +29,7 @@ from repro.progressive.batch import BatchERSystem
 from repro.progressive.pbs import PBSSystem
 from repro.progressive.pps import PPSSystem
 from repro.progressive.psn import GSPSNSystem, LSPSNSystem
-from repro.streaming.engine import RunResult, StreamingEngine
+from repro.streaming.engine import RunResult
 from repro.streaming.system import ERSystem
 
 __all__ = [
@@ -59,7 +63,7 @@ SYSTEM_NAMES = (
 )
 
 
-def make_matcher(name: str) -> Matcher:
+def _build_matcher(name: str) -> Matcher:
     """JS (cheap) or ED (expensive) matcher with experiment thresholds."""
     if name.upper() == "JS":
         return JaccardMatcher(threshold=0.35)
@@ -88,7 +92,7 @@ WEIGHTING_SYSTEMS = frozenset(
 )
 
 
-def make_system(
+def _build_system(
     name: str, dataset: Dataset, *, per_pair_weighting: bool = False, **overrides
 ) -> ERSystem:
     """Instantiate an ER system by its paper name for a given dataset.
@@ -153,6 +157,10 @@ class ExperimentConfig:
     budget: float = 300.0
     seed: int = 0
     dataset: Dataset | None = field(default=None, compare=False)
+    #: Engine behavior knobs (pipelined, scalar_matching, per_pair_weighting,
+    #: workers) — see :class:`repro.api.EngineOptions`.  ``None`` means all
+    #: defaults: serial engine, batched kernel, sweep weighting, one worker.
+    engine: "EngineOptions | None" = None
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)
@@ -163,20 +171,52 @@ class ExperimentConfig:
         return load_dataset(self.dataset_name, scale=self.scale)
 
 
+_DEPRECATION_TEMPLATE = (
+    "{name} is deprecated; build an repro.api.ERSession instead "
+    "(it unifies system/matcher/plan/engine construction and adds the "
+    "parallel execution knobs)"
+)
+
+
+def make_matcher(name: str) -> Matcher:
+    """Deprecated shim for :func:`_build_matcher`; use :class:`repro.api.ERSession`."""
+    warnings.warn(
+        _DEPRECATION_TEMPLATE.format(name="make_matcher"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_matcher(name)
+
+
+def make_system(
+    name: str, dataset: Dataset, *, per_pair_weighting: bool = False, **overrides
+) -> ERSystem:
+    """Deprecated shim for :func:`_build_system`; use :class:`repro.api.ERSession`."""
+    warnings.warn(
+        _DEPRECATION_TEMPLATE.format(name="make_system"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_system(
+        name, dataset, per_pair_weighting=per_pair_weighting, **overrides
+    )
+
+
 def run_experiment(config: ExperimentConfig) -> dict[str, RunResult]:
     """Run every configured system over the configured stream; return
-    results keyed by system name."""
-    dataset = config.load()
-    increments = split_into_increments(dataset, config.n_increments, seed=config.seed)
-    results: dict[str, RunResult] = {}
-    for system_name in config.systems:
-        if system_name.upper() in BATCH_SYSTEMS and config.rate is None:
-            plan = make_stream_plan(
-                split_into_increments(dataset, 1, seed=config.seed), rate=None
-            )
-        else:
-            plan = make_stream_plan(increments, rate=config.rate)
-        system = make_system(system_name, dataset)
-        engine = StreamingEngine(make_matcher(config.matcher), budget=config.budget)
-        results[system_name] = engine.run(system, plan, dataset.ground_truth)
-    return results
+    results keyed by system name.
+
+    Deprecated shim: the implementation lives in
+    :meth:`repro.api.ERSession.compare`, which honors ``config.engine``
+    (pipelined/scalar/per-pair/workers) and builds each stream plan once
+    instead of re-splitting the dataset per batch system.
+    """
+    warnings.warn(
+        _DEPRECATION_TEMPLATE.format(name="run_experiment"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import ERSession
+
+    with ERSession.from_config(config) as session:
+        return session.compare()

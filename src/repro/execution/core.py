@@ -92,12 +92,15 @@ PRESEEDED_COUNTERS = (
     "engine.retries",
     "engine.retry_backoff_s",
     "engine.shed_increments",
+    "parallel.fallbacks",
+    "parallel.pairs_sharded",
+    "parallel.rounds_sharded",
 )
 
 #: Phase timers every run exports even when they never fire, for the same
 #: reason: ``sleep`` only accumulates on the serial engine (fast-forward),
 #: yet both engines export the full phase surface.
-PRESEEDED_PHASES = ("emit", "idle", "ingest", "match", "sleep")
+PRESEEDED_PHASES = ("emit", "idle", "ingest", "match", "scatter", "sleep")
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,6 +140,11 @@ class RunState:
         "consumed_at", "work_exhausted", "rounds", "ingested", "shed",
         "duplicates_dropped", "duplicates", "seen_increments",
         "last_checkpoint_clock",
+        # Tier A telemetry, kept OUT of the metrics registry until finalize
+        # so mid-run checkpoints (and their fingerprints) stay bit-identical
+        # across worker counts.
+        "parallel_rounds", "parallel_pairs", "parallel_fallbacks",
+        "scatter_wall_start",
     )
 
 
@@ -157,6 +165,19 @@ class ExecutionCore:
         Execute emission rounds through the batched kernel when the matcher
         supports it (the default).  ``False`` forces the scalar path; both
         are bit-identical for matchers that declare ``supports_batch``.
+    workers:
+        Shard the batched kernel's similarity scoring across this many
+        worker processes (Tier A of :mod:`repro.parallel`).  ``1`` — the
+        default — never touches multiprocessing; higher values create a
+        :class:`~repro.parallel.pool.WorkerPool` lazily on the first
+        shardable round, and degrade silently (``parallel.fallbacks``
+        counter) to in-process scoring when a pool cannot start or breaks
+        mid-run.  Results are bit-identical for every worker count.
+    pool:
+        An externally owned :class:`~repro.parallel.pool.WorkerPool` to use
+        instead of creating one (e.g. shared across runs by
+        :class:`repro.api.ERSession`).  The engine resets its profile
+        caches at the start of every run but never closes it.
     """
 
     _KIND = "abstract"
@@ -172,9 +193,13 @@ class ExecutionCore:
         resilience: ResilienceConfig | None = None,
         checkpoint_every: float | None = None,
         batch_matching: bool = True,
+        workers: int = 1,
+        pool: "object | None" = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.matcher = matcher
         self.budget = budget
         self.match_cost_prior = match_cost_prior
@@ -184,6 +209,10 @@ class ExecutionCore:
             resilience = replace(resilience, checkpoint_every=checkpoint_every)
         self.resilience = resilience
         self.batch_matching = batch_matching
+        self.workers = workers
+        self._pool = pool
+        self._pool_owned = False
+        self._pool_attempted = False
         #: Latest checkpoint of the most recent run (``None`` before any).
         self.last_checkpoint: EngineCheckpoint | None = None
 
@@ -228,6 +257,10 @@ class ExecutionCore:
         metrics = MetricsRegistry()
         system.bind_metrics(metrics)
         matcher.bind_metrics(metrics)
+        if self._pool is not None:
+            # Profile ids are only unique within a dataset: worker caches
+            # must never survive into a new run.
+            self._pool.begin_run()
 
         state = RunState()
         state.system = system
@@ -252,6 +285,11 @@ class ExecutionCore:
         state.ingested = 0
         state.shed = 0
         state.duplicates_dropped = 0
+        state.parallel_rounds = 0
+        state.parallel_pairs = 0
+        state.parallel_fallbacks = 0
+        pool = self._pool
+        state.scatter_wall_start = pool.scatter_wall_s if pool is not None else 0.0
 
         if resume_from is None:
             state.store.begin_run()
@@ -547,7 +585,9 @@ class ExecutionCore:
             if clock >= budget:
                 break
         if selected:
-            results = matcher.evaluate_batch([profiles[position] for position in selected])
+            selected_profiles = [profiles[position] for position in selected]
+            precomputed = self._pool_scores(state, selected_profiles)
+            results = matcher.evaluate_batch(selected_profiles, precomputed=precomputed)
             recorder = state.recorder
             duplicates = state.duplicates
             for offset, result in enumerate(results):
@@ -558,6 +598,67 @@ class ExecutionCore:
                 if result.is_match:
                     duplicates.add((min(pid_x, pid_y), max(pid_x, pid_y)))
         return clock, deadline_cut
+
+    # ------------------------------------------------------------------
+    # Tier A sharding (see repro.parallel): workers score, master accounts
+    # ------------------------------------------------------------------
+    def _pool_scores(
+        self,
+        state: RunState,
+        pairs: list,
+    ) -> tuple[list[float], list[float]] | None:
+        """Shard a round's ``_batch_scores`` across the worker pool.
+
+        Returns the merged ``(similarities, costs)`` lists — bit-identical
+        to an in-process call, see :mod:`repro.parallel.pool` — or ``None``
+        whenever the round should score in-process instead: single-worker
+        configuration, batch below the sharding threshold, pool unavailable
+        or broken.  The distinction is pure telemetry; results never differ.
+
+        Telemetry accumulates on ``state`` and only reaches the metrics
+        registry in :meth:`_finalize`: mid-run checkpoints must capture a
+        ``metrics_state`` that is bit-identical across worker counts.
+        """
+        pool = self._pool
+        if pool is None:
+            if self.workers <= 1 or self._pool_attempted:
+                return None
+            self._pool_attempted = True
+            from repro.parallel.pool import WorkerPool
+
+            pool = WorkerPool.create(self.workers, self.matcher)
+            if pool is None:
+                state.parallel_fallbacks += 1
+                return None
+            self._pool = pool
+            self._pool_owned = True
+        if not pool.healthy or len(pairs) < pool.min_shard:
+            return None
+        from repro.parallel.pool import WorkerPoolError
+
+        try:
+            scores = pool.batch_scores(pairs)
+        except WorkerPoolError:
+            # The pool marked itself broken; this and all later rounds
+            # score in-process (bit-identical, just not parallel).
+            state.parallel_fallbacks += 1
+            return None
+        state.parallel_rounds += 1
+        state.parallel_pairs += len(pairs)
+        return scores
+
+    def close_pool(self) -> None:
+        """Shut down an engine-owned worker pool (no-op otherwise).
+
+        Externally supplied pools belong to their creator (typically an
+        :class:`repro.api.ERSession`) and are left running.
+        """
+        if self._pool is not None and self._pool_owned:
+            self._pool.close()
+        if self._pool_owned:
+            self._pool = None
+            self._pool_owned = False
+        self._pool_attempted = False
 
     # ------------------------------------------------------------------
     # Shared probes and reporting
@@ -605,6 +706,20 @@ class ExecutionCore:
         metrics.gauge("engine.clock_end", final_clock)
         metrics.gauge("engine.budget", self.budget)
         metrics.gauge("engine.ingest_clock_end", self._ingest_clock_end(state, final_clock))
+        # Tier A telemetry lands here, after the last possible checkpoint,
+        # so checkpointed metrics_state never varies with worker count.
+        metrics.count("parallel.rounds_sharded", state.parallel_rounds)
+        metrics.count("parallel.pairs_sharded", state.parallel_pairs)
+        metrics.count("parallel.fallbacks", state.parallel_fallbacks)
+        pool = self._pool
+        if pool is not None:
+            scatter_wall = pool.scatter_wall_s - state.scatter_wall_start
+            if scatter_wall > 0.0:
+                metrics.phase("scatter").add(0.0, scatter_wall)
+        # Effective fleet size, not the requested one: a failed pool reports 1.
+        metrics.gauge(
+            "parallel.workers", float(pool.size) if pool is not None and pool.healthy else 1.0
+        )
         details = dict(state.system.describe())
         details["resilience"] = {
             "retries": metrics.counter("engine.retries"),

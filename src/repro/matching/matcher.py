@@ -120,7 +120,9 @@ class Matcher:
         return [self.estimate_cost(profile_x, profile_y) for profile_x, profile_y in pairs]
 
     def evaluate_batch(
-        self, pairs: Sequence[tuple[EntityProfile, EntityProfile]]
+        self,
+        pairs: Sequence[tuple[EntityProfile, EntityProfile]],
+        precomputed: tuple[list[float], list[float]] | None = None,
     ) -> list[MatchResult]:
         """Classify many pairs at once, bit-identical to scalar :meth:`evaluate`.
 
@@ -132,12 +134,22 @@ class Matcher:
         scalar order, because ``total_cost`` and ``matcher.virtual_cost_s``
         are float accumulations whose order is observable (mean cost feeds
         the adaptive K).
+
+        ``precomputed`` lets a caller supply the ``(similarities, costs)``
+        lists for ``pairs`` directly — the hook the worker-pool layer uses
+        to shard :meth:`_batch_scores` across processes while *all*
+        accounting (stats, metrics, float accumulation order) still happens
+        here, on the master, exactly as in-process.  It is ignored for
+        matchers without :attr:`supports_batch`, whose scalar loop must run
+        locally for its side effects.
         """
         if not self.supports_batch:
             return [self.evaluate(profile_x, profile_y) for profile_x, profile_y in pairs]
         threshold = self.threshold
         metrics = self._metrics
-        similarities, costs = self._batch_scores(pairs)
+        similarities, costs = (
+            precomputed if precomputed is not None else self._batch_scores(pairs)
+        )
         if metrics is None:
             # Unbound fast path: C-level construction, then stat folds.
             # ``sum(costs, start)`` adds left-to-right from the previous

@@ -1,0 +1,78 @@
+"""Tier B of the parallel layer: whole experiment cells across processes.
+
+Where Tier A (:mod:`repro.parallel.pool`) shards the matcher evaluation of
+*one* run, Tier B exploits that a comparison — system × dataset × seed —
+is embarrassingly parallel across its cells: every cell is an independent
+virtual-clock simulation, so fanning the cells out over a process pool and
+collating the results in submission order is trivially deterministic.  Each
+child executes its cell exactly the way the serial loop would (same
+:func:`repro.api.run_cell` code path, forced to ``workers=1`` so a fleet
+never nests pools inside pools), which makes the parallel comparison
+result-identical to the serial one by construction.
+
+Degradation mirrors Tier A: if the pool cannot start, a child interpreter
+dies, or a payload refuses to pickle, the remaining cells run serially in
+the parent — slower, never different.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.experiments import ExperimentConfig
+    from repro.streaming.engine import RunResult
+
+__all__ = ["run_cells"]
+
+
+def _execute_cell(config: "ExperimentConfig", system_name: str) -> "RunResult":
+    """One cell, in whatever process this runs in.
+
+    The lazy import keeps the module light for the ``spawn`` re-import in
+    child interpreters; forcing ``workers=1`` keeps a Tier B fleet from
+    spawning a Tier A pool per child.
+    """
+    from repro.api import run_cell
+
+    engine = config.engine
+    if engine is not None and engine.workers != 1:
+        config = config.with_overrides(engine=replace(engine, workers=1))
+    return run_cell(config, system_name)
+
+
+def run_cells(
+    config: "ExperimentConfig",
+    system_names: Sequence[str],
+    *,
+    workers: int = 1,
+) -> list["RunResult"]:
+    """Run one cell per system name; return results in ``system_names`` order.
+
+    ``workers <= 1`` (or a single cell) executes serially in-process.  With
+    more workers the cells are submitted to a spawn-context
+    :class:`~concurrent.futures.ProcessPoolExecutor` and the futures are
+    resolved in submission order — the collation is deterministic because
+    cell *results* are deterministic, not because of any scheduling luck.
+    """
+    if workers <= 1 or len(system_names) <= 1:
+        return [_execute_cell(config, name) for name in system_names]
+    context = multiprocessing.get_context("spawn")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(system_names)), mp_context=context
+        ) as executor:
+            futures = [
+                executor.submit(_execute_cell, config, name) for name in system_names
+            ]
+            return [future.result() for future in futures]
+    except (BrokenProcessPool, OSError, pickle.PicklingError, TypeError):
+        # TypeError covers unpicklable in-memory datasets (e.g. fixtures
+        # carrying lambdas); every degradation re-runs the full comparison
+        # serially — cells are deterministic, so no partial results to save.
+        return [_execute_cell(config, name) for name in system_names]

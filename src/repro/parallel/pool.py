@@ -1,0 +1,282 @@
+"""The persistent process pool that shards batched matcher evaluation.
+
+Tier A of the parallel layer (see ``docs/api.md``): the master engine keeps
+sole ownership of the virtual clock, the
+:class:`~repro.execution.store.ComparisonStore` and the metrics registry,
+and only the *similarity/cost scoring* of an emission batch fans out —
+contiguous chunks of the batch go to the workers, results are merged back
+in submission order.  Because every matcher with
+:attr:`~repro.matching.matcher.Matcher.supports_batch` scores pairs
+independently (the vectorized kernels are elementwise), the merged
+``(similarities, costs)`` lists are bit-identical to a single in-process
+``_batch_scores`` call, and all downstream accounting is unchanged.
+
+Design points:
+
+* **spawn-safe** — workers are started with the ``spawn`` method (the only
+  method that is fork-safety-clean on every platform); the worker entry
+  point lives at module level in :mod:`repro.parallel.worker`.
+* **profile payloads off the hot path** — the pool tracks, per worker, the
+  set of profile ids already shipped; a scoring message carries only the
+  unseen profiles plus pid pairs.
+* **graceful degradation** — :meth:`WorkerPool.create` returns ``None``
+  when the pool cannot start, and any mid-run transport failure marks the
+  pool broken and raises :class:`WorkerPoolError`; callers fall back to the
+  in-process kernel (which is bit-identical anyway) and count the fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.profile import EntityProfile
+    from repro.matching.matcher import Matcher
+
+__all__ = ["WorkerPool", "WorkerPoolError", "DEFAULT_MIN_SHARD"]
+
+#: Below this many pairs the per-message transport overhead outweighs any
+#: parallel win, so the engine keeps small batches in-process.  Sharding
+#: threshold only — results are bit-identical either way.
+DEFAULT_MIN_SHARD = 64
+
+#: How long a freshly spawned worker gets to answer the startup ping.
+#: Spawn on a loaded host takes O(seconds); a worker that is silent this
+#: long is treated as failed and the pool refuses to start.
+HANDSHAKE_TIMEOUT_S = 30.0
+
+
+class WorkerPoolError(RuntimeError):
+    """The pool lost a worker (or never started); callers must fall back."""
+
+
+class WorkerPool:
+    """A fleet of persistent worker processes scoring matcher batches.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1).
+    matcher:
+        Template for the workers' matcher replicas.  Only its class and
+        configuration travel; statistics and metrics bindings stay home.
+    min_shard:
+        Smallest batch worth sharding (exposed for the engine's gate).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        matcher: "Matcher",
+        *,
+        min_shard: int = DEFAULT_MIN_SHARD,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.min_shard = min_shard
+        self.broken = False
+        #: Wall seconds spent in scatter/gather round-trips (telemetry only).
+        self.scatter_wall_s = 0.0
+        self.chunks_shipped = 0
+        context = multiprocessing.get_context("spawn")
+        self._processes: list = []
+        self._connections: list = []
+        self._known: list[set[int]] = []
+        template = (type(matcher), _template_state(matcher))
+        try:
+            for _ in range(workers):
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_entry, args=(child_end,), daemon=True
+                )
+                process.start()
+                child_end.close()
+                parent_end.send(("matcher",) + template)
+                parent_end.send(("ping",))
+                self._processes.append(process)
+                self._connections.append(parent_end)
+                self._known.append(set())
+            # Handshake: a spawn failure (missing interpreter state, dead
+            # child) must surface here, not as a silent no-op pool that
+            # reports a fleet it does not have.
+            for connection in self._connections:
+                if not connection.poll(HANDSHAKE_TIMEOUT_S):
+                    raise WorkerPoolError("worker did not answer startup ping")
+                status, payload = connection.recv()
+                if (status, payload) != ("ok", "pong"):
+                    raise WorkerPoolError(f"bad startup handshake: {(status, payload)!r}")
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        workers: int,
+        matcher: "Matcher",
+        *,
+        min_shard: int = DEFAULT_MIN_SHARD,
+    ) -> "WorkerPool | None":
+        """Start a pool, or return ``None`` when the host cannot run one.
+
+        This is the graceful-degradation entry point the engines and
+        :class:`~repro.api.ERSession` use: a ``None`` pool means "execute
+        in-process" (bit-identical, just not parallel).
+        """
+        if workers <= 1:
+            return None
+        try:
+            return cls(workers, matcher, min_shard=min_shard)
+        except Exception:
+            return None
+
+    @property
+    def size(self) -> int:
+        return len(self._connections)
+
+    @property
+    def healthy(self) -> bool:
+        return bool(self._connections) and not self.broken
+
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Reset every worker's profile cache (start of an engine run).
+
+        Profile ids are only unique *within* a dataset, so caches must not
+        survive across runs that may target different data.  The reset is a
+        one-way message; the pipe's FIFO ordering makes an ack unnecessary.
+        """
+        if not self.healthy:
+            return
+        try:
+            for connection in self._connections:
+                connection.send(("reset",))
+        except (BrokenPipeError, OSError):
+            self._mark_broken()
+        for known in self._known:
+            known.clear()
+
+    def batch_scores(
+        self, pairs: Sequence[tuple["EntityProfile", "EntityProfile"]]
+    ) -> tuple[list[float], list[float]]:
+        """Score ``pairs`` across the fleet; merge by submission index.
+
+        The batch is split into at most ``size`` contiguous chunks (first
+        chunks get the remainder, mirroring ``split_into_increments``), each
+        worker scores one chunk concurrently, and the per-chunk
+        ``(similarities, costs)`` lists are concatenated in chunk order —
+        the exact element order of a single in-process call.
+
+        Raises :class:`WorkerPoolError` on any transport failure or worker
+        death; the pool is then marked broken and the caller falls back.
+        """
+        if not self.healthy:
+            raise WorkerPoolError("worker pool is not available")
+        started = time.perf_counter()
+        chunks = _split_chunks(len(pairs), self.size)
+        active: list[int] = []
+        cursor = 0
+        try:
+            for worker_index, chunk_size in enumerate(chunks):
+                if chunk_size == 0:
+                    continue
+                chunk = pairs[cursor : cursor + chunk_size]
+                cursor += chunk_size
+                known = self._known[worker_index]
+                fresh = []
+                pid_pairs = []
+                for profile_x, profile_y in chunk:
+                    if profile_x.pid not in known:
+                        known.add(profile_x.pid)
+                        fresh.append(profile_x)
+                    if profile_y.pid not in known:
+                        known.add(profile_y.pid)
+                        fresh.append(profile_y)
+                    pid_pairs.append((profile_x.pid, profile_y.pid))
+                self._connections[worker_index].send(("scores", fresh, pid_pairs))
+                active.append(worker_index)
+            similarities: list[float] = []
+            costs: list[float] = []
+            for worker_index in active:
+                status, payload = self._connections[worker_index].recv()
+                if status != "ok":
+                    raise WorkerPoolError(f"worker {worker_index} failed: {payload}")
+                chunk_similarities, chunk_costs = payload
+                similarities.extend(chunk_similarities)
+                costs.extend(chunk_costs)
+        except WorkerPoolError:
+            self._mark_broken()
+            raise
+        except (BrokenPipeError, EOFError, OSError) as error:
+            self._mark_broken()
+            raise WorkerPoolError(f"worker pool transport failed: {error!r}") from error
+        self.scatter_wall_s += time.perf_counter() - started
+        self.chunks_shipped += len(active)
+        return similarities, costs
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop and join every worker (idempotent, best-effort)."""
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        self._connections = []
+        self._processes = []
+        self._known = []
+
+    def _mark_broken(self) -> None:
+        self.broken = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _worker_entry(connection) -> None:  # pragma: no cover - runs in child
+    """Spawn target: import inside the child keeps the parent import-light."""
+    from repro.parallel.worker import worker_main
+
+    worker_main(connection)
+
+
+def _template_state(matcher: "Matcher") -> dict:
+    """The matcher configuration that travels to the workers.
+
+    Statistics travel as zeros (workers never account) and the metrics
+    binding never travels at all.
+    """
+    state = {key: value for key, value in matcher.__dict__.items() if key != "_metrics"}
+    state["comparisons_executed"] = 0
+    state["matches_found"] = 0
+    state["total_cost"] = 0.0
+    return state
+
+
+def _split_chunks(n_pairs: int, n_workers: int) -> list[int]:
+    """Contiguous chunk sizes: ``n_pairs`` split across ``n_workers``,
+    remainder to the first chunks (deterministic on every host)."""
+    base, extra = divmod(n_pairs, n_workers)
+    return [base + (1 if index < extra else 0) for index in range(n_workers)]

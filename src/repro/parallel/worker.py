@@ -1,0 +1,101 @@
+"""Worker-process side of the matching fleet.
+
+A worker is a long-lived child process holding two pieces of state:
+
+* a **matcher replica**, rebuilt once from the template the pool ships at
+  startup (class + ``__dict__`` minus the metrics binding), and
+* a **profile cache** keyed by profile id, so the hot path ships 16-byte
+  pid pairs instead of pickled profile payloads — each profile crosses the
+  process boundary at most once per run.
+
+Workers are *pure compute*: they evaluate the matcher's vectorized
+:meth:`~repro.matching.matcher.Matcher._batch_scores` kernel over cached
+profiles and return ``(similarities, costs)`` lists.  All accounting — the
+virtual clock, matcher statistics, metrics, the
+:class:`~repro.execution.store.ComparisonStore` — stays with the master,
+which is what keeps a sharded run bit-identical to the serial path.
+
+The module is deliberately import-light and free of module-level state so
+it is safe under the ``spawn`` start method (each worker re-imports it in a
+fresh interpreter).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+    from repro.matching.matcher import Matcher
+
+__all__ = ["worker_main", "rebuild_matcher"]
+
+
+def rebuild_matcher(matcher_cls: type, state: dict) -> "Matcher":
+    """Reconstruct a matcher replica from a pool template.
+
+    Bypasses ``__init__`` (the template already carries validated state) and
+    leaves the replica unbound from any metrics registry: workers never
+    account, they only score.
+    """
+    matcher = matcher_cls.__new__(matcher_cls)
+    matcher.__dict__.update(state)
+    matcher._metrics = None
+    return matcher
+
+
+def worker_main(connection: "Connection") -> None:
+    """The worker loop: receive tasks over ``connection`` until stopped.
+
+    Message protocol (tuples; first element is the kind):
+
+    ``("matcher", cls, state)``
+        Install the matcher replica.  Also clears the profile cache — a new
+        template implies a new session.
+    ``("reset",)``
+        Clear the profile cache (sent at the start of every run, so stale
+        pid-to-profile bindings can never leak across datasets).
+    ``("ping",)``
+        Reply ``("ok", "pong")`` — the pool's startup handshake proving the
+        worker survived spawn and can round-trip messages.
+    ``("scores", profiles, pid_pairs)``
+        Cache the (previously unseen) ``profiles``, score ``pid_pairs``
+        through the matcher's ``_batch_scores`` kernel, and reply with
+        ``("ok", (similarities, costs))`` or ``("error", repr)``.
+    ``("stop",)``
+        Exit the loop.
+    """
+    matcher: "Matcher | None" = None
+    profiles: dict = {}
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "scores":
+            for profile in message[1]:
+                profiles[profile.pid] = profile
+            try:
+                pairs = [(profiles[pid_x], profiles[pid_y]) for pid_x, pid_y in message[2]]
+                reply = ("ok", matcher._batch_scores(pairs))
+            except Exception as error:  # propagate, let the master degrade
+                reply = ("error", repr(error))
+            try:
+                connection.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "matcher":
+            matcher = rebuild_matcher(message[1], message[2])
+            profiles.clear()
+        elif kind == "reset":
+            profiles.clear()
+        elif kind == "ping":
+            try:
+                connection.send(("ok", "pong"))
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "stop":
+            break
+    connection.close()

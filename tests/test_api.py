@@ -1,0 +1,235 @@
+"""Tests for the unified session API (``repro.api``).
+
+``ERSession`` is the single entry point every driver (``resolve_stream``,
+the CLI, the benchmark drivers, ``run_experiment``) now routes through.
+Pinned here:
+
+* construction/validation of :class:`EngineOptions` and the ``workers``
+  shorthand;
+* stream-plan semantics — batch baselines get single-increment plans in
+  the static setting, plans are built once and shared across systems;
+* round-trips: session ↔ :class:`ExperimentConfig`, ``resolve_stream``
+  equals a hand-built session, ``run_experiment`` equals
+  ``session.compare()``;
+* fault wiring (int seed → :meth:`FaultSpec.chaos`, reports accumulate)
+  and checkpoint capture;
+* the legacy entry points still work but raise ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import resolve_stream
+from repro.api import EngineOptions, ERSession
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    make_matcher,
+    make_system,
+    run_experiment,
+)
+from repro.matching.matcher import EditDistanceMatcher, JaccardMatcher
+from repro.resilience import FaultSpec, FaultyMatcher
+
+BUDGET = 8.0
+
+
+@pytest.fixture(scope="module")
+def dataset(small_dblp_acm):
+    return small_dblp_acm
+
+
+def _session(dataset, **kwargs):
+    defaults = dict(
+        systems=("I-PES",),
+        matcher="JS",
+        n_increments=8,
+        rate=5.0,
+        budget=BUDGET,
+    )
+    defaults.update(kwargs)
+    return ERSession(dataset, **defaults)
+
+
+def _comparable(result):
+    metrics = dict(result.details["metrics"])
+    metrics["phases"] = {
+        phase: {key: value for key, value in totals.items() if key != "wall_s"}
+        for phase, totals in metrics["phases"].items()
+    }
+    return (
+        result.curve.points,
+        result.duplicates,
+        result.comparisons_executed,
+        result.clock_end,
+        metrics,
+    )
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+def test_engine_options_rejects_zero_workers():
+    with pytest.raises(ValueError, match="workers"):
+        EngineOptions(workers=0)
+
+
+def test_session_rejects_empty_systems(dataset):
+    with pytest.raises(ValueError, match="at least one"):
+        ERSession(dataset, systems=())
+
+
+def test_workers_shorthand_overrides_engine_options(dataset):
+    session = _session(dataset, engine=EngineOptions(workers=1), workers=3)
+    assert session.engine_options.workers == 3
+    # The rest of the options survive the override.
+    session = _session(dataset, engine=EngineOptions(pipelined=True), workers=2)
+    assert session.engine_options == EngineOptions(pipelined=True, workers=2)
+
+
+def test_single_string_system_accepted(dataset):
+    session = _session(dataset, systems="I-BASE")
+    assert session.systems == ("I-BASE",)
+
+
+def test_matcher_construction(dataset):
+    assert isinstance(_session(dataset, matcher="JS").build_matcher(), JaccardMatcher)
+    assert isinstance(
+        _session(dataset, matcher="ED").build_matcher(), EditDistanceMatcher
+    )
+    assert isinstance(
+        _session(dataset, matcher="JS", faults=7).build_matcher(), FaultyMatcher
+    )
+
+
+# ----------------------------------------------------------------------
+# Stream-plan semantics
+# ----------------------------------------------------------------------
+def test_static_batch_baselines_get_single_increment_plans(dataset):
+    session = ERSession(dataset, systems=("I-PES", "PPS", "BATCH"), budget=BUDGET)
+    assert len(session.plan_for("PPS").increments) == 1
+    assert len(session.plan_for("I-PES").increments) == session.n_increments
+    # Plans are cached: the two batch systems share one object, and so do
+    # repeated calls for the same streaming shape.
+    assert session.plan_for("BATCH") is session.plan_for("PPS")
+    assert session.plan_for("I-PES") is session.plan_for("I-PCS")
+
+
+def test_streaming_setting_streams_everyone(dataset):
+    session = _session(dataset, systems=("PPS",))
+    assert len(session.plan_for("PPS").increments) == session.n_increments
+
+
+def test_fault_seed_int_becomes_chaos_spec(dataset):
+    session = _session(dataset, faults=7)
+    assert session.fault_spec == FaultSpec.chaos(7)
+    assert session.fault_reports == []
+    session.plan_for("I-PES")
+    assert len(session.fault_reports) == 1
+    # The cached plan does not re-apply faults.
+    session.plan_for("I-PES")
+    assert len(session.fault_reports) == 1
+
+
+# ----------------------------------------------------------------------
+# Execution round-trips
+# ----------------------------------------------------------------------
+def test_resolve_stream_routes_through_session(dataset):
+    via_function = resolve_stream(
+        dataset, algorithm="I-PES", matcher="JS", n_increments=8, rate=5.0, budget=BUDGET
+    )
+    with _session(dataset) as session:
+        via_session = session.run()
+    assert _comparable(via_function) == _comparable(via_session)
+
+
+def test_compare_runs_every_system_in_order(dataset):
+    with _session(dataset, systems=("I-PES", "I-BASE"), budget=4.0) as session:
+        results = session.compare()
+    assert list(results) == ["I-PES", "I-BASE"]
+    for result in results.values():
+        assert result.comparisons_executed > 0
+
+
+def test_run_experiment_matches_session_compare(dataset):
+    config = ExperimentConfig(
+        dataset_name=dataset.name,
+        systems=("I-PES",),
+        matcher="JS",
+        n_increments=8,
+        rate=5.0,
+        budget=4.0,
+        dataset=dataset,
+    )
+    with pytest.warns(DeprecationWarning):
+        legacy = run_experiment(config)
+    with ERSession.from_config(config) as session:
+        modern = session.compare()
+    assert list(legacy) == list(modern)
+    for name in legacy:
+        assert _comparable(legacy[name]) == _comparable(modern[name])
+
+
+def test_config_round_trip(dataset):
+    session = _session(
+        dataset,
+        systems=("I-PES", "I-BASE"),
+        matcher="ED",
+        engine=EngineOptions(pipelined=True, workers=2),
+    )
+    config = session.to_config()
+    assert config.systems == ("I-PES", "I-BASE")
+    assert config.engine == EngineOptions(pipelined=True, workers=2)
+    assert config.dataset is dataset
+    rebuilt = ERSession.from_config(config)
+    assert rebuilt.systems == session.systems
+    assert rebuilt.engine_options == session.engine_options
+    assert rebuilt.matcher_name == session.matcher_name
+    assert rebuilt.rate == session.rate
+
+
+def test_engine_options_select_engine_and_kernel(dataset):
+    from repro.streaming.pipelined import PipelinedStreamingEngine
+
+    session = _session(dataset, engine=EngineOptions(pipelined=True, scalar_matching=True))
+    engine = session.build_engine(session.build_matcher())
+    assert isinstance(engine, PipelinedStreamingEngine)
+    assert engine.batch_matching is False
+
+
+def test_checkpoint_every_captures_last_checkpoint(dataset):
+    with _session(dataset, matcher="ED", checkpoint_every=2.0) as session:
+        session.run()
+        assert session.last_checkpoint is not None
+        assert session.last_checkpoint.clock <= BUDGET
+
+
+def test_session_close_is_reentrant(dataset):
+    session = _session(dataset)
+    session.run()
+    session.close()
+    session.close()
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+def test_make_matcher_shim_warns():
+    with pytest.warns(DeprecationWarning, match="ERSession"):
+        matcher = make_matcher("JS")
+    assert isinstance(matcher, JaccardMatcher)
+
+
+def test_make_system_shim_warns(dataset):
+    with pytest.warns(DeprecationWarning, match="ERSession"):
+        system = make_system("I-PES", dataset)
+    assert "I-PES" in system.name
+
+
+def test_session_itself_never_warns(dataset):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with _session(dataset, budget=2.0) as session:
+            session.run()
