@@ -20,6 +20,15 @@ execution core and gates against regressions:
   and both paths must emit bit-identical comparison streams (re-verified
   on every run).
 
+* **ED kernel** — the pre-PR expensive-matcher hot path (pair-at-a-time
+  ``evaluate`` on the banded-DP kernel) versus the current default
+  (staged ``evaluate_batch`` on the Myers bit-parallel kernel) on the same
+  pair sample.  The new path must stay at least ``MIN_ED_SPEEDUP``× faster
+  and pair-level bit-identical (same similarities *and* costs); on top of
+  that, one end-to-end engine run per kernel re-verifies that kernel
+  choice never changes the observable outcome — curve, duplicates,
+  telemetry-stripped metrics, and the checkpoint fingerprint;
+
 * **parallel matching** — one full resolution through
   :class:`repro.api.ERSession` at ``workers=4`` versus ``workers=1``.
   The sharded run must stay bit-identical to serial — curve, duplicates,
@@ -27,7 +36,10 @@ execution core and gates against regressions:
   checkpoint fingerprint are all re-verified on every run — and must reach
   ``MIN_PARALLEL_SPEEDUP``× on hosts with at least
   ``PARALLEL_GATE_MIN_CORES`` cores (the wall-clock gate is recorded but
-  not enforced on smaller hosts, where a process pool cannot win).
+  not enforced on smaller hosts, where a process pool cannot win).  The
+  sharded run must also actually use the shared-memory profile transport:
+  ``parallel.shm_segments``/``parallel.shm_bytes`` are recorded and the
+  benchmark fails if rounds were sharded with zero segments published.
 
 Unlike the smoke/chaos baselines, every recorded value here is wall-clock
 (host-dependent), so the checked-in ``BENCH_perf.json`` is refreshed only
@@ -49,7 +61,7 @@ import tracemalloc
 from pathlib import Path
 from typing import Sequence
 
-from repro.api import ERSession
+from repro.api import EngineOptions, ERSession
 from repro.blocking.blocks import BlockCollection
 from repro.core.dataset import ERKind
 from repro.datasets.registry import load_dataset
@@ -61,7 +73,7 @@ from repro.priority.bounded_pq import BoundedPriorityQueue
 
 from benchmarks.smoke import diff_schema
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 DEFAULT_BASELINE = Path(__file__).parent / "BENCH_perf.json"
 
 CONFIG = {
@@ -96,6 +108,10 @@ MIN_JS_SPEEDUP = 2.0
 #: The single-sweep weighting kernel must beat the per-pair path by at
 #: least this much on CBS (the paper's default scheme).
 MIN_CBS_SWEEP_SPEEDUP = 3.0
+
+#: The current ED hot path (staged batch + Myers bit-parallel kernel) must
+#: beat the pre-PR path (scalar loop + banded DP) by at least this much.
+MIN_ED_SPEEDUP = 3.0
 
 #: The sharded matcher fleet must beat the serial run by at least this
 #: much — enforced only on hosts with enough cores to make it possible.
@@ -163,6 +179,39 @@ def _bench_matcher(name: str, pairs, repeats: int) -> dict:
         "scalar_wall_s": round(scalar_s, 6),
         "batched_wall_s": round(batched_s, 6),
         "speedup": round(scalar_s / batched_s, 3),
+        "bit_identical": True,
+    }
+
+
+def _bench_ed_kernel(pairs, repeats: int) -> dict:
+    """Pre-PR ED hot path (scalar loop + banded DP) vs the current default
+    (staged ``evaluate_batch`` + Myers bit-parallel kernel)."""
+    legacy_matcher = _build_matcher("ED", ed_kernel="banded")
+    fast_matcher = _build_matcher("ED")
+    legacy_results = [legacy_matcher.evaluate(x, y) for x, y in pairs]
+    fast_results = fast_matcher.evaluate_batch(pairs)
+    # One pass worth of staged-scoring outcomes (deterministic for the
+    # sampled pairs, unlike the timed repeats below which accumulate).
+    kernel_counts = dict(fast_matcher.kernel_counts)
+    mismatches = sum(
+        1 for legacy, fast in zip(legacy_results, fast_results) if legacy != fast
+    )
+    if mismatches:
+        raise AssertionError(
+            f"ED: Myers batched path diverged from banded scalar on "
+            f"{mismatches} pairs"
+        )
+
+    legacy_s = _best_of(
+        repeats, lambda: [legacy_matcher.evaluate(x, y) for x, y in pairs]
+    )
+    fast_s = _best_of(repeats, lambda: fast_matcher.evaluate_batch(pairs))
+    return {
+        "pairs": len(pairs),
+        "legacy_scalar_banded_wall_s": round(legacy_s, 6),
+        "batched_myers_wall_s": round(fast_s, 6),
+        "speedup": round(legacy_s / fast_s, 3),
+        "kernel_counts": kernel_counts,
         "bit_identical": True,
     }
 
@@ -304,18 +353,34 @@ def _checkpoint_fingerprint(checkpoint) -> tuple:
     )
 
 
-def _parallel_session(knobs: dict, workers: int) -> ERSession:
+def _parallel_session(
+    knobs: dict, workers: int, ed_kernel: str = "auto"
+) -> ERSession:
     return ERSession(
         knobs["dataset"],
         systems=(knobs["system"],),
         matcher=knobs["matcher"],
+        engine=EngineOptions(workers=workers, ed_kernel=ed_kernel),
         scale=knobs["scale"],
         n_increments=knobs["n_increments"],
         rate=None,
         budget=knobs["budget"],
         checkpoint_every=knobs["checkpoint_every"],
-        workers=workers,
     )
+
+
+def _run_observable(session: ERSession) -> tuple[dict, tuple, dict]:
+    """One ERSession run reduced to (observable, fingerprint, counters)."""
+    result = session.run()
+    observable = {
+        "curve": result.curve.points,
+        "duplicates": sorted(result.duplicates),
+        "comparisons_executed": result.comparisons_executed,
+        "clock_end": result.clock_end,
+        "metrics": _stable_metrics(result.details["metrics"]),
+    }
+    fingerprint = _checkpoint_fingerprint(session.last_checkpoint)
+    return observable, fingerprint, result.details["metrics"]["counters"]
 
 
 def _bench_parallel() -> dict:
@@ -329,16 +394,9 @@ def _bench_parallel() -> dict:
         # One session per worker count: the pool spawns once (outside the
         # timed region, like any warmup) and is reused across repeats.
         with _parallel_session(knobs, workers) as session:
-            result = session.run()
-            observable[workers] = {
-                "curve": result.curve.points,
-                "duplicates": sorted(result.duplicates),
-                "comparisons_executed": result.comparisons_executed,
-                "clock_end": result.clock_end,
-                "metrics": _stable_metrics(result.details["metrics"]),
-            }
-            fingerprints[workers] = _checkpoint_fingerprint(session.last_checkpoint)
-            counters[workers] = result.details["metrics"]["counters"]
+            observable[workers], fingerprints[workers], counters[workers] = (
+                _run_observable(session)
+            )
             walls[workers] = _best_of(knobs["repeats"], session.run)
 
     if observable[1] != observable[knobs["workers"]]:
@@ -349,6 +407,16 @@ def _bench_parallel() -> dict:
     if fingerprints[1] != fingerprints[knobs["workers"]]:
         raise AssertionError(
             "parallel: checkpoint fingerprint diverged between worker counts"
+        )
+
+    # Kernel choice must be unobservable end-to-end: re-run the serial cell
+    # on the pre-PR banded kernel and demand the identical outcome.
+    with _parallel_session(knobs, 1, ed_kernel="banded") as session:
+        banded_observable, banded_fingerprint, _ = _run_observable(session)
+    if banded_observable != observable[1] or banded_fingerprint != fingerprints[1]:
+        raise AssertionError(
+            "ED kernels: banded engine run diverged from the Myers default "
+            "(curve/duplicates/metrics/checkpoint fingerprint)"
         )
 
     sharded = counters[knobs["workers"]]
@@ -362,10 +430,13 @@ def _bench_parallel() -> dict:
         "rounds_sharded": int(sharded.get("parallel.rounds_sharded", 0)),
         "pairs_sharded": int(sharded.get("parallel.pairs_sharded", 0)),
         "pool_fallbacks": int(sharded.get("parallel.fallbacks", 0)),
+        "shm_segments": int(sharded.get("parallel.shm_segments", 0)),
+        "shm_bytes": int(sharded.get("parallel.shm_bytes", 0)),
         "serial_wall_s": round(walls[1], 6),
         "parallel_wall_s": round(walls[knobs["workers"]], 6),
         "speedup": round(speedup, 3),
         "bit_identical": True,
+        "cross_kernel_identical": True,
     }
 
 
@@ -379,6 +450,7 @@ def build_snapshot() -> dict:
             name: _bench_matcher(name, pairs, CONFIG["repeats"])
             for name in CONFIG["matchers"]
         },
+        "ed_kernel": _bench_ed_kernel(pairs, CONFIG["repeats"]),
         "slots": _bench_slots(),
         "prioritization": _bench_prioritization(dataset, CONFIG["repeats"]),
         "parallel": _bench_parallel(),
@@ -407,6 +479,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"batched={entry['batched_wall_s']:.4f}s "
             f"speedup={entry['speedup']:.2f}x"
         )
+    ed = payload["ed_kernel"]
+    staged = ", ".join(
+        f"{stage}={count}" for stage, count in sorted(ed["kernel_counts"].items())
+    )
+    print(
+        f"ed-kernel: legacy={ed['legacy_scalar_banded_wall_s']:.4f}s "
+        f"myers-batched={ed['batched_myers_wall_s']:.4f}s "
+        f"speedup={ed['speedup']:.2f}x ({staged})"
+    )
     slots = payload["slots"]
     print(
         f"slots: {slots['bytes_per_instance_slots']:.0f} B/queue vs "
@@ -430,7 +511,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"parallel: serial={parallel['serial_wall_s']:.4f}s "
         f"workers={parallel['workers']} -> {parallel['parallel_wall_s']:.4f}s "
         f"speedup={parallel['speedup']:.2f}x "
-        f"({parallel['pairs_sharded']} pairs sharded, gate {gate_note})"
+        f"({parallel['pairs_sharded']} pairs sharded, "
+        f"{parallel['shm_segments']} shm segments / "
+        f"{parallel['shm_bytes']} B, gate {gate_note})"
     )
 
     failures = []
@@ -439,6 +522,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         failures.append(
             f"JS batched speedup {js_speedup:.2f}x below the {MIN_JS_SPEEDUP}x gate"
         )
+    if ed["speedup"] < MIN_ED_SPEEDUP:
+        failures.append(
+            f"ED Myers batched speedup {ed['speedup']:.2f}x over the pre-PR "
+            f"scalar banded path is below the {MIN_ED_SPEEDUP}x gate"
+        )
+    if not ed["bit_identical"]:
+        failures.append("ED: Myers batched path diverged from banded scalar")
     if slots["bytes_saved_per_instance"] <= 0:
         failures.append("slotted queue is not smaller than the dict-backed replica")
     cbs_sweep = payload["prioritization"]["CBS"]["speedup"]
@@ -454,6 +544,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         failures.append("parallel: sharded run diverged from serial")
     if parallel["rounds_sharded"] == 0:
         failures.append("parallel: worker pool never sharded a round")
+    if parallel["rounds_sharded"] > 0 and parallel["shm_segments"] == 0:
+        failures.append(
+            "parallel: rounds were sharded but no shared-memory segments "
+            "were published (shm transport inactive)"
+        )
     if parallel["gate_enforced"] and parallel["speedup"] < MIN_PARALLEL_SPEEDUP:
         failures.append(
             f"parallel speedup {parallel['speedup']:.2f}x below the "

@@ -44,6 +44,7 @@ from repro.evaluation.experiments import (
     _build_system,
 )
 from repro.matching.matcher import Matcher
+from repro.matching.similarity import ED_KERNELS
 from repro.resilience.checkpoint import EngineCheckpoint
 from repro.resilience.faults import FaultReport, FaultSpec, FaultyMatcher, apply_faults
 from repro.resilience.retry import ResilienceConfig
@@ -59,7 +60,7 @@ class EngineOptions:
 
     Every field preserves bit-identical results; these are the CLI escape
     hatches (``--pipelined``, ``--scalar-matching``, ``--per-pair-weighting``,
-    ``--workers``) as one first-class, picklable value that
+    ``--workers``, ``--ed-kernel``) as one first-class, picklable value that
     :class:`ExperimentConfig` can finally carry.
     """
 
@@ -67,10 +68,18 @@ class EngineOptions:
     scalar_matching: bool = False
     per_pair_weighting: bool = False
     workers: int = 1
+    #: Edit-distance kernel for the ED matcher (see
+    #: :data:`repro.matching.similarity.ED_KERNELS`).  All kernels produce
+    #: identical distances; this is a wall-clock/debugging escape hatch.
+    ed_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.ed_kernel not in ED_KERNELS:
+            raise ValueError(
+                f"ed_kernel must be one of {ED_KERNELS}, got {self.ed_kernel!r}"
+            )
 
 
 class ERSession:
@@ -196,7 +205,9 @@ class ERSession:
         Fresh per run so a fault schedule always starts from its seed —
         every system of a comparison sees the same perturbation sequence.
         """
-        matcher = _build_matcher(self.matcher_name)
+        matcher = _build_matcher(
+            self.matcher_name, ed_kernel=self.engine_options.ed_kernel
+        )
         if self.fault_spec is not None:
             matcher = FaultyMatcher(matcher, seed=self.fault_spec.seed)
         return matcher

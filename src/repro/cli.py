@@ -24,6 +24,7 @@ from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation.experiments import SYSTEM_NAMES
 from repro.evaluation.io import run_result_to_json, write_curve_csv
 from repro.evaluation.reporting import format_table, pc_over_time_table, summary_table
+from repro.matching.similarity import ED_KERNELS
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="force one meta-blocking weight() call per candidate pair "
                  "instead of the single-sweep weighting kernel "
                  "(bit-identical results; for debugging and benchmarking)",
+        )
+        sub.add_argument(
+            "--ed-kernel", default="auto", choices=list(ED_KERNELS),
+            help="edit-distance kernel for the ED matcher: 'auto' (Myers "
+                 "bit-parallel), 'myers', 'banded' (band-limited DP), or "
+                 "'full' (unbounded DP); all kernels compute identical "
+                 "distances (escape hatch for debugging and benchmarking)",
         )
         sub.add_argument(
             "--faults", type=int, default=None, metavar="SEED",
@@ -120,6 +128,7 @@ def _session(args, systems) -> ERSession:
             scalar_matching=args.scalar_matching,
             per_pair_weighting=args.per_pair_weighting,
             workers=args.workers,
+            ed_kernel=args.ed_kernel,
         ),
         scale=args.scale,
         n_increments=args.n_increments,

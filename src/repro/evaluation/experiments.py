@@ -63,12 +63,17 @@ SYSTEM_NAMES = (
 )
 
 
-def _build_matcher(name: str) -> Matcher:
-    """JS (cheap) or ED (expensive) matcher with experiment thresholds."""
+def _build_matcher(name: str, *, ed_kernel: str = "auto") -> Matcher:
+    """JS (cheap) or ED (expensive) matcher with experiment thresholds.
+
+    ``ed_kernel`` selects the ED matcher's edit-distance kernel (ignored
+    for JS); every kernel computes identical distances, so it is a
+    wall-clock escape hatch only.
+    """
     if name.upper() == "JS":
         return JaccardMatcher(threshold=0.35)
     if name.upper() == "ED":
-        return EditDistanceMatcher(threshold=0.7)
+        return EditDistanceMatcher(threshold=0.7, kernel=ed_kernel)
     raise ValueError(f"unknown matcher {name!r}; use 'JS' or 'ED'")
 
 

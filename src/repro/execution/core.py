@@ -59,7 +59,7 @@ from repro.core.dataset import GroundTruth
 from repro.core.increments import StreamPlan
 from repro.evaluation.recorder import ProgressCurve, ProgressRecorder
 from repro.execution.store import ComparisonStore
-from repro.matching.matcher import Matcher
+from repro.matching.matcher import KERNEL_COUNTERS, Matcher
 from repro.observability.metrics import MetricsRegistry, PhaseTimer
 from repro.priority.rates import RateEstimator
 from repro.resilience.checkpoint import EngineCheckpoint, SimulatedCrash, plan_token
@@ -95,7 +95,9 @@ PRESEEDED_COUNTERS = (
     "parallel.fallbacks",
     "parallel.pairs_sharded",
     "parallel.rounds_sharded",
-)
+    "parallel.shm_bytes",
+    "parallel.shm_segments",
+) + tuple(f"matcher.kernel.{name}" for name in sorted(KERNEL_COUNTERS))
 
 #: Phase timers every run exports even when they never fire, for the same
 #: reason: ``sleep`` only accumulates on the serial engine (fast-forward),
@@ -144,7 +146,7 @@ class RunState:
         # so mid-run checkpoints (and their fingerprints) stay bit-identical
         # across worker counts.
         "parallel_rounds", "parallel_pairs", "parallel_fallbacks",
-        "scatter_wall_start",
+        "scatter_wall_start", "shm_segments_start", "shm_bytes_start",
     )
 
 
@@ -290,6 +292,8 @@ class ExecutionCore:
         state.parallel_fallbacks = 0
         pool = self._pool
         state.scatter_wall_start = pool.scatter_wall_s if pool is not None else 0.0
+        state.shm_segments_start = pool.shm_segments_published if pool is not None else 0
+        state.shm_bytes_start = pool.shm_bytes_published if pool is not None else 0
 
         if resume_from is None:
             state.store.begin_run()
@@ -645,6 +649,12 @@ class ExecutionCore:
             return None
         state.parallel_rounds += 1
         state.parallel_pairs += len(pairs)
+        # Fold the workers' staged-kernel outcome counts into the master
+        # matcher: ``matcher.kernel.*`` telemetry (and checkpointed matcher
+        # state) stays bit-identical to a serial run.
+        kernel_counts = state.matcher.kernel_counts
+        for name, value in pool.last_kernel_counts.items():
+            kernel_counts[name] = kernel_counts.get(name, 0) + value
         return scores
 
     def close_pool(self) -> None:
@@ -711,11 +721,23 @@ class ExecutionCore:
         metrics.count("parallel.rounds_sharded", state.parallel_rounds)
         metrics.count("parallel.pairs_sharded", state.parallel_pairs)
         metrics.count("parallel.fallbacks", state.parallel_fallbacks)
+        # Staged-kernel outcome counts accumulate as plain ints on the
+        # matcher (worker-side counts are merged back per round), so this
+        # flush is also bit-identical across worker counts.
+        for name, value in state.matcher.kernel_telemetry().items():
+            metrics.count(f"matcher.kernel.{name}", value)
         pool = self._pool
         if pool is not None:
             scatter_wall = pool.scatter_wall_s - state.scatter_wall_start
             if scatter_wall > 0.0:
                 metrics.phase("scatter").add(0.0, scatter_wall)
+            metrics.count(
+                "parallel.shm_segments",
+                pool.shm_segments_published - state.shm_segments_start,
+            )
+            metrics.count(
+                "parallel.shm_bytes", pool.shm_bytes_published - state.shm_bytes_start
+            )
         # Effective fleet size, not the requested one: a failed pool reports 1.
         metrics.gauge(
             "parallel.workers", float(pool.size) if pool is not None and pool.healthy else 1.0

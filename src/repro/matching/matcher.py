@@ -18,6 +18,7 @@ from typing import NamedTuple, Sequence
 
 from repro.core.profile import EntityProfile
 from repro.matching.similarity import (
+    ED_KERNELS,
     dice_batch,
     jaccard,
     jaccard_batch,
@@ -25,7 +26,30 @@ from repro.matching.similarity import (
 )
 from repro.observability.metrics import MetricsRegistry
 
-__all__ = ["CostModel", "Matcher", "JaccardMatcher", "EditDistanceMatcher", "MatchResult"]
+__all__ = [
+    "CostModel",
+    "Matcher",
+    "JaccardMatcher",
+    "EditDistanceMatcher",
+    "MatchResult",
+    "KERNEL_COUNTERS",
+]
+
+#: Hot-path outcome counters kept by matchers with staged scoring kernels
+#: (plain ints on the matcher — the engine flushes them to the metrics
+#: registry as ``matcher.kernel.<name>`` at finalize).  The names double as
+#: the fixed key set of :attr:`Matcher.kernel_counts` so the counter schema
+#: never varies with the data.
+KERNEL_COUNTERS = ("short_texts", "prefilter_rejects", "length_cuts", "dp_calls")
+
+
+class _NestedMatcherState(NamedTuple):
+    """Snapshot of a matcher-valued attribute (e.g. a fault wrapper's inner
+    matcher), so nested matchers get the same derived-state exclusion as the
+    top-level one.  Picklable: checkpoints travel to disk and Tier B cells."""
+
+    matcher_cls: type
+    state: dict
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +90,13 @@ class Matcher:
 
     name = "matcher"
 
+    #: Attribute names that are pure functions of other state (derivable
+    #: caches).  They are excluded from checkpoints and worker templates —
+    #: they are rebuilt deterministically by :meth:`_init_derived_state` —
+    #: which keeps checkpoint payloads bounded no matter how many profiles
+    #: a long stream has touched.
+    _DERIVED_STATE: tuple[str, ...] = ()
+
     #: Contract for the engines' batched kernel.  ``True`` promises that
     #: :meth:`evaluate` is deterministic, never raises, and costs exactly
     #: :meth:`estimate_cost` — the conditions under which an emission round
@@ -82,9 +113,21 @@ class Matcher:
         self.comparisons_executed = 0
         self.matches_found = 0
         self.total_cost = 0.0
+        #: Staged-kernel outcome counts (see :data:`KERNEL_COUNTERS`).
+        #: Matchers without a staged kernel leave this empty.
+        self.kernel_counts: dict[str, int] = {}
         self._metrics: MetricsRegistry | None = None
 
     # -- hooks ----------------------------------------------------------
+    def _init_derived_state(self) -> None:
+        """(Re)build the attributes named in :attr:`_DERIVED_STATE`."""
+
+    def kernel_telemetry(self) -> dict[str, int]:
+        """The kernel outcome counters to report for this matcher.
+
+        Wrappers override this to expose the wrapped matcher's counters.
+        """
+        return self.kernel_counts
     def similarity(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         raise NotImplementedError
 
@@ -206,26 +249,50 @@ class Matcher:
         self.comparisons_executed = 0
         self.matches_found = 0
         self.total_cost = 0.0
+        for key in self.kernel_counts:
+            self.kernel_counts[key] = 0
 
     # -- checkpoint support ---------------------------------------------
     def snapshot_state(self) -> dict[str, object]:
-        """Deep copy of all matcher state except the metrics binding.
+        """Deep copy of all matcher state except the metrics binding and
+        :attr:`_DERIVED_STATE` caches.
 
-        The generic ``__dict__`` walk also captures subclass state — text
-        caches, wrapped matchers, fault-schedule RNGs — so a restored
-        matcher replays exactly the same evaluation (and fault) sequence.
+        The generic ``__dict__`` walk also captures subclass state —
+        wrapped matchers, fault-schedule RNGs — so a restored matcher
+        replays exactly the same evaluation (and fault) sequence.  Derived
+        caches are dropped (rebuilt deterministically on demand), which
+        keeps checkpoint payloads bounded on long streams; matcher-valued
+        attributes are snapshot recursively so nested matchers get the
+        same treatment.
         """
-        return {
-            key: copy.deepcopy(value)
-            for key, value in self.__dict__.items()
-            if key != "_metrics"
-        }
+        excluded = self._DERIVED_STATE
+        state: dict[str, object] = {}
+        for key, value in self.__dict__.items():
+            if key == "_metrics" or key in excluded:
+                continue
+            if isinstance(value, Matcher):
+                state[key] = _NestedMatcherState(type(value), value.snapshot_state())
+            else:
+                state[key] = copy.deepcopy(value)
+        return state
 
     def restore_state(self, state: dict[str, object]) -> None:
         """Rewind to a snapshot, keeping the current metrics binding."""
         metrics = self._metrics
-        self.__dict__.update(copy.deepcopy(state))
+        for key, value in state.items():
+            if isinstance(value, _NestedMatcherState):
+                current = self.__dict__.get(key)
+                if type(current) is value.matcher_cls:
+                    current.restore_state(value.state)
+                else:
+                    rebuilt = value.matcher_cls.__new__(value.matcher_cls)
+                    rebuilt._metrics = None
+                    rebuilt.restore_state(value.state)
+                    self.__dict__[key] = rebuilt
+            else:
+                self.__dict__[key] = copy.deepcopy(value)
         self._metrics = metrics
+        self._init_derived_state()
 
     @property
     def mean_cost(self) -> float:
@@ -293,14 +360,18 @@ class EditDistanceMatcher(Matcher):
 
     Implementation note: the *virtual* cost always reflects the full
     quadratic DP over the complete texts.  The actual similarity computation
-    truncates texts to ``max_text_length`` characters and short-circuits
-    clearly dissimilar pairs with a cheap character-bigram overlap test, so
-    host wall-clock time stays bounded without altering classifications
-    near the threshold.
+    truncates texts to ``max_text_length`` characters and runs a staged
+    kernel ordered by cheapness — bigram-overlap prefilter, length
+    prefilter, then the bit-parallel DP (:data:`ED_KERNELS`) only for pairs
+    the cheap stages cannot decide — so host wall-clock time stays bounded
+    without altering classifications near the threshold.  Texts shorter
+    than one bigram bypass the prefilter entirely (their empty bigram set
+    carries no signal) and go straight to the — then O(1) — exact DP.
     """
 
     name = "ED"
     supports_batch = True
+    _DERIVED_STATE = ("_text_cache",)
 
     def __init__(
         self,
@@ -308,12 +379,20 @@ class EditDistanceMatcher(Matcher):
         cost_model: CostModel | None = None,
         max_text_length: int = 160,
         prefilter_floor: float = 0.3,
+        kernel: str = "auto",
     ) -> None:
         super().__init__(threshold, cost_model or CostModel(base=1e-4, per_unit=5e-7))
         if max_text_length < 8:
             raise ValueError("max_text_length must be >= 8")
+        if kernel not in ED_KERNELS:
+            raise ValueError(f"kernel must be one of {ED_KERNELS}, got {kernel!r}")
         self.max_text_length = max_text_length
         self.prefilter_floor = prefilter_floor
+        self.kernel = kernel
+        self.kernel_counts = dict.fromkeys(KERNEL_COUNTERS, 0)
+        self._init_derived_state()
+
+    def _init_derived_state(self) -> None:
         self._text_cache: dict[int, tuple[str, frozenset[str]]] = {}
 
     def _prepared(self, profile: EntityProfile) -> tuple[str, frozenset[str]]:
@@ -325,15 +404,62 @@ class EditDistanceMatcher(Matcher):
             self._text_cache[profile.pid] = cached
         return cached
 
+    def _classify(
+        self,
+        text_x: str,
+        bigrams_x: frozenset[str],
+        text_y: str,
+        bigrams_y: frozenset[str],
+        overlap: float,
+    ) -> float | None:
+        """Cheap-stage verdict for one pair; ``None`` when only the DP can
+        decide.
+
+        The stages run cheapest-first and are shared verbatim by the scalar
+        and batched paths, so both classify (and count) identically:
+
+        1. *short texts* — a text shorter than one bigram yields an empty
+           bigram set, which reads as overlap 0.0 and used to reject even
+           *identical* texts.  The prefilter has no signal here; run the —
+           then O(1) — DP exactly.
+        2. *bigram prefilter* — overlap far below any plausible threshold;
+           the overlap itself is the (pessimistic) reject similarity.
+        3. *length prefilter* — the length difference alone exceeds the
+           banded-DP distance bound; emit exactly the float the bounded DP
+           would (it returns ``bound + 1`` clamped to ``longest``).
+        """
+        counts = self.kernel_counts
+        if not bigrams_x or not bigrams_y:
+            counts["short_texts"] += 1
+            return normalized_edit_similarity(
+                text_x, text_y, min_similarity=self.threshold, kernel=self.kernel
+            )
+        if overlap < self.prefilter_floor:
+            counts["prefilter_rejects"] += 1
+            return overlap
+        length_x = len(text_x)
+        length_y = len(text_y)
+        longest = length_x if length_x >= length_y else length_y
+        bound = int((1.0 - self.threshold) * longest) + 1
+        difference = longest - (length_y if length_x >= length_y else length_x)
+        if difference > bound:
+            counts["length_cuts"] += 1
+            distance = bound + 1 if bound + 1 < longest else longest
+            return 1.0 - distance / longest
+        return None
+
     def similarity(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         text_x, bigrams_x = self._prepared(profile_x)
         text_y, bigrams_y = self._prepared(profile_y)
-        overlap = _dice(bigrams_x, bigrams_y)
-        if overlap < self.prefilter_floor:
-            # Far below any plausible threshold: the bigram overlap itself is
-            # a (pessimistic) similarity proxy for the reject decision.
-            return min(overlap, self.prefilter_floor)
-        return normalized_edit_similarity(text_x, text_y, min_similarity=self.threshold)
+        verdict = self._classify(
+            text_x, bigrams_x, text_y, bigrams_y, _dice(bigrams_x, bigrams_y)
+        )
+        if verdict is not None:
+            return verdict
+        self.kernel_counts["dp_calls"] += 1
+        return normalized_edit_similarity(
+            text_x, text_y, min_similarity=self.threshold, kernel=self.kernel
+        )
 
     def work_units(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         return float(profile_x.text_length()) * float(profile_y.text_length())
@@ -353,34 +479,36 @@ class EditDistanceMatcher(Matcher):
     ) -> tuple[list[float], list[float]]:
         prepared = self._prepared
         texts = [(prepared(profile_x), prepared(profile_y)) for profile_x, profile_y in pairs]
+        # Stage 0: one C-speed Dice sweep over all bigram sets.
         overlaps = dice_batch(
             [(bigrams_x, bigrams_y) for (_, bigrams_x), (_, bigrams_y) in texts]
         )
-        floor = self.prefilter_floor
+        # Stages 1–3: cheap classifications fill what they can; survivors
+        # (``None``) are the pairs only the DP can decide.
+        classify = self._classify
+        similarities: list[float | None] = [
+            classify(text_x, bigrams_x, text_y, bigrams_y, overlap)
+            for ((text_x, bigrams_x), (text_y, bigrams_y)), overlap in zip(texts, overlaps)
+        ]
+        # Stage 4: the expensive DP calls run last, over survivors only —
+        # the batch is processed strictly cheapest-work-first.
         threshold = self.threshold
+        kernel = self.kernel
+        counts = self.kernel_counts
+        for index, similarity in enumerate(similarities):
+            if similarity is None:
+                (text_x, _), (text_y, _) = texts[index]
+                counts["dp_calls"] += 1
+                similarities[index] = normalized_edit_similarity(
+                    text_x, text_y, min_similarity=threshold, kernel=kernel
+                )
         base = self.cost_model.base
         per_unit = self.cost_model.per_unit
-        similarities: list[float] = []
-        append = similarities.append
-        for ((text_x, _), (text_y, _)), overlap in zip(texts, overlaps):
-            if overlap < floor:
-                append(min(overlap, floor))
-            else:
-                append(normalized_edit_similarity(text_x, text_y, min_similarity=threshold))
         costs = [
             base + per_unit * (float(profile_x.text_length()) * float(profile_y.text_length()))
             for profile_x, profile_y in pairs
         ]
         return similarities, costs
-
-
-def _bigram_overlap(text_x: str, text_y: str) -> float:
-    """Dice overlap of character bigram sets — a cheap ED lower-bound proxy."""
-    if len(text_x) < 2 or len(text_y) < 2:
-        return 0.0 if text_x != text_y else 1.0
-    bigrams_x = frozenset(text_x[i : i + 2] for i in range(len(text_x) - 1))
-    bigrams_y = frozenset(text_y[i : i + 2] for i in range(len(text_y) - 1))
-    return _dice(bigrams_x, bigrams_y)
 
 
 def _dice(bigrams_x: frozenset[str], bigrams_y: frozenset[str]) -> float:

@@ -16,9 +16,13 @@ Design points:
 * **spawn-safe** — workers are started with the ``spawn`` method (the only
   method that is fork-safety-clean on every platform); the worker entry
   point lives at module level in :mod:`repro.parallel.worker`.
-* **profile payloads off the hot path** — the pool tracks, per worker, the
-  set of profile ids already shipped; a scoring message carries only the
-  unseen profiles plus pid pairs.
+* **profile payloads off the hot path** — each round's not-yet-shipped
+  profiles are pickled *once* into a read-only
+  :mod:`multiprocessing.shared_memory` segment that every worker attaches
+  and reads, so a profile crosses the process boundary once per run total
+  (not once per worker); scoring messages carry only segment names plus
+  pid pairs.  Hosts without usable shm (probed at startup) degrade to the
+  classic per-worker pickle shipping, bit-identically.
 * **graceful degradation** — :meth:`WorkerPool.create` returns ``None``
   when the pool cannot start, and any mid-run transport failure marks the
   pool broken and raises :class:`WorkerPoolError`; callers fall back to the
@@ -28,6 +32,7 @@ Design points:
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 from typing import TYPE_CHECKING, Sequence
 
@@ -42,10 +47,16 @@ __all__ = ["WorkerPool", "WorkerPoolError", "DEFAULT_MIN_SHARD"]
 #: threshold only — results are bit-identical either way.
 DEFAULT_MIN_SHARD = 64
 
-#: How long a freshly spawned worker gets to answer the startup ping.
-#: Spawn on a loaded host takes O(seconds); a worker that is silent this
-#: long is treated as failed and the pool refuses to start.
+#: How long the whole fleet gets to answer the startup ping — one shared
+#: deadline, not per worker, so a hung fleet of N workers degrades after
+#: 30 s instead of N×30 s.  Spawn on a loaded host takes O(seconds); a
+#: fleet silent this long is treated as failed and the pool refuses to
+#: start.
 HANDSHAKE_TIMEOUT_S = 30.0
+
+#: Known bytes round-tripped through a probe segment at startup to prove
+#: the workers can attach shared memory on this host.
+_SHM_PROBE_PAYLOAD = b"repro-shm-probe"
 
 
 class WorkerPoolError(RuntimeError):
@@ -80,10 +91,22 @@ class WorkerPool:
         #: Wall seconds spent in scatter/gather round-trips (telemetry only).
         self.scatter_wall_s = 0.0
         self.chunks_shipped = 0
+        #: Shared-memory transfer telemetry (exported as ``parallel.shm_*``).
+        self.shm_segments_published = 0
+        self.shm_bytes_published = 0
+        #: Kernel outcome counts of the last fully merged round — the
+        #: engine folds these into the master matcher so sharded runs
+        #: report the same ``matcher.kernel.*`` counters as serial ones.
+        self.last_kernel_counts: dict[str, int] = {}
         context = multiprocessing.get_context("spawn")
         self._processes: list = []
         self._connections: list = []
         self._known: list[set[int]] = []
+        self._use_shm = False
+        self._segments: list = []  # (generation, SharedMemory, payload size)
+        self._generation = 0
+        self._worker_generation: list[int] = []
+        self._published: set[int] = set()
         template = (type(matcher), _template_state(matcher))
         try:
             for _ in range(workers):
@@ -98,18 +121,64 @@ class WorkerPool:
                 self._processes.append(process)
                 self._connections.append(parent_end)
                 self._known.append(set())
+                self._worker_generation.append(0)
             # Handshake: a spawn failure (missing interpreter state, dead
             # child) must surface here, not as a silent no-op pool that
-            # reports a fleet it does not have.
-            for connection in self._connections:
-                if not connection.poll(HANDSHAKE_TIMEOUT_S):
-                    raise WorkerPoolError("worker did not answer startup ping")
-                status, payload = connection.recv()
-                if (status, payload) != ("ok", "pong"):
-                    raise WorkerPoolError(f"bad startup handshake: {(status, payload)!r}")
+            # reports a fleet it does not have.  One deadline covers the
+            # whole fleet — the workers spawn concurrently, so their pings
+            # arrive concurrently too.
+            self._await_replies(("ok", "pong"), "startup ping")
+            self._use_shm = self._probe_shm()
         except Exception:
             self.close()
             raise
+
+    def _await_replies(self, expected: tuple, what: str) -> bool:
+        """Collect one reply per worker under a single fleet-wide deadline.
+
+        Returns ``True`` when every worker sent ``expected``; any other
+        reply returns ``False`` (the pipes stay in sync — the reply *was*
+        consumed).  A worker that stays silent past the shared deadline
+        raises: its reply can no longer be matched to a request, so the
+        pool is unusable.
+        """
+        deadline = time.monotonic() + HANDSHAKE_TIMEOUT_S
+        all_expected = True
+        for connection in self._connections:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not connection.poll(remaining):
+                raise WorkerPoolError(f"worker did not answer {what} in time")
+            if connection.recv() != expected:
+                all_expected = False
+        return all_expected
+
+    def _probe_shm(self) -> bool:
+        """Round-trip a known payload through a shm segment on every worker.
+
+        Any failure — the master cannot create segments, or a worker
+        cannot attach them — disables the shm transfer path (the pickle
+        path is used instead, bit-identically).  Only a silent worker is
+        fatal, exactly as in the startup ping.
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(
+                create=True, size=len(_SHM_PROBE_PAYLOAD)
+            )
+        except Exception:
+            return False
+        try:
+            probe.buf[: len(_SHM_PROBE_PAYLOAD)] = _SHM_PROBE_PAYLOAD
+            for connection in self._connections:
+                connection.send(("shm_probe", probe.name, len(_SHM_PROBE_PAYLOAD)))
+            return self._await_replies(("ok", "shm"), "shm probe")
+        finally:
+            try:
+                probe.close()
+                probe.unlink()
+            except OSError:  # pragma: no cover - platform cleanup quirk
+                pass
 
     # ------------------------------------------------------------------
     @classmethod
@@ -141,6 +210,11 @@ class WorkerPool:
     def healthy(self) -> bool:
         return bool(self._connections) and not self.broken
 
+    @property
+    def shm_active(self) -> bool:
+        """Whether profile payloads travel via shared memory (vs pickle)."""
+        return self._use_shm and self.healthy
+
     # ------------------------------------------------------------------
     def begin_run(self) -> None:
         """Reset every worker's profile cache (start of an engine run).
@@ -158,6 +232,41 @@ class WorkerPool:
             self._mark_broken()
         for known in self._known:
             known.clear()
+        self._release_segments()
+
+    def _release_segments(self) -> None:
+        """Unlink every published segment and rewind the shm versioning.
+
+        Safe between rounds: scoring is synchronous, so no worker can be
+        mid-attach when this runs.
+        """
+        for _generation, segment, _size in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+        self._generation = 0
+        self._worker_generation = [0] * len(self._connections)
+        self._published.clear()
+
+    def _publish_profiles(self, fresh: list) -> None:
+        """Pickle ``fresh`` profiles into one new read-only shm segment.
+
+        The segment is versioned by a monotonically increasing generation;
+        each worker is told, per scoring message, about exactly the
+        segments it has not consumed yet.
+        """
+        from multiprocessing import shared_memory
+
+        payload = pickle.dumps(fresh, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        segment.buf[: len(payload)] = payload
+        self._generation += 1
+        self._segments.append((self._generation, segment, len(payload)))
+        self.shm_segments_published += 1
+        self.shm_bytes_published += len(payload)
 
     def batch_scores(
         self, pairs: Sequence[tuple["EntityProfile", "EntityProfile"]]
@@ -180,33 +289,63 @@ class WorkerPool:
         active: list[int] = []
         cursor = 0
         try:
+            if self._use_shm:
+                # Publish each profile once for the whole fleet: one
+                # segment per round holding every not-yet-shipped profile.
+                published = self._published
+                fresh = []
+                for profile_x, profile_y in pairs:
+                    if profile_x.pid not in published:
+                        published.add(profile_x.pid)
+                        fresh.append(profile_x)
+                    if profile_y.pid not in published:
+                        published.add(profile_y.pid)
+                        fresh.append(profile_y)
+                if fresh:
+                    self._publish_profiles(fresh)
             for worker_index, chunk_size in enumerate(chunks):
                 if chunk_size == 0:
                     continue
                 chunk = pairs[cursor : cursor + chunk_size]
                 cursor += chunk_size
-                known = self._known[worker_index]
-                fresh = []
-                pid_pairs = []
-                for profile_x, profile_y in chunk:
-                    if profile_x.pid not in known:
-                        known.add(profile_x.pid)
-                        fresh.append(profile_x)
-                    if profile_y.pid not in known:
-                        known.add(profile_y.pid)
-                        fresh.append(profile_y)
-                    pid_pairs.append((profile_x.pid, profile_y.pid))
-                self._connections[worker_index].send(("scores", fresh, pid_pairs))
+                pid_pairs = [
+                    (profile_x.pid, profile_y.pid) for profile_x, profile_y in chunk
+                ]
+                if self._use_shm:
+                    consumed = self._worker_generation[worker_index]
+                    segments = [
+                        (segment.name, size)
+                        for generation, segment, size in self._segments
+                        if generation > consumed
+                    ]
+                    self._connections[worker_index].send(
+                        ("shm_scores", segments, pid_pairs)
+                    )
+                    self._worker_generation[worker_index] = self._generation
+                else:
+                    known = self._known[worker_index]
+                    fresh = []
+                    for profile_x, profile_y in chunk:
+                        if profile_x.pid not in known:
+                            known.add(profile_x.pid)
+                            fresh.append(profile_x)
+                        if profile_y.pid not in known:
+                            known.add(profile_y.pid)
+                            fresh.append(profile_y)
+                    self._connections[worker_index].send(("scores", fresh, pid_pairs))
                 active.append(worker_index)
             similarities: list[float] = []
             costs: list[float] = []
+            kernel_counts: dict[str, int] = {}
             for worker_index in active:
                 status, payload = self._connections[worker_index].recv()
                 if status != "ok":
                     raise WorkerPoolError(f"worker {worker_index} failed: {payload}")
-                chunk_similarities, chunk_costs = payload
+                chunk_similarities, chunk_costs, chunk_counts = payload
                 similarities.extend(chunk_similarities)
                 costs.extend(chunk_costs)
+                for name, value in chunk_counts.items():
+                    kernel_counts[name] = kernel_counts.get(name, 0) + value
         except WorkerPoolError:
             self._mark_broken()
             raise
@@ -215,11 +354,13 @@ class WorkerPool:
             raise WorkerPoolError(f"worker pool transport failed: {error!r}") from error
         self.scatter_wall_s += time.perf_counter() - started
         self.chunks_shipped += len(active)
+        self.last_kernel_counts = kernel_counts
         return similarities, costs
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop and join every worker (idempotent, best-effort)."""
+        self._release_segments()
         for connection in self._connections:
             try:
                 connection.send(("stop",))
@@ -265,13 +406,21 @@ def _worker_entry(connection) -> None:  # pragma: no cover - runs in child
 def _template_state(matcher: "Matcher") -> dict:
     """The matcher configuration that travels to the workers.
 
-    Statistics travel as zeros (workers never account) and the metrics
-    binding never travels at all.
+    Statistics travel as zeros (workers never account; kernel counts are
+    zeroed per scoring round and merged back by the master), derived
+    caches are rebuilt worker-side, and the metrics binding never travels
+    at all.
     """
-    state = {key: value for key, value in matcher.__dict__.items() if key != "_metrics"}
+    excluded = matcher._DERIVED_STATE
+    state = {
+        key: value
+        for key, value in matcher.__dict__.items()
+        if key != "_metrics" and key not in excluded
+    }
     state["comparisons_executed"] = 0
     state["matches_found"] = 0
     state["total_cost"] = 0.0
+    state["kernel_counts"] = dict.fromkeys(matcher.kernel_counts, 0)
     return state
 
 

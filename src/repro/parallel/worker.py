@@ -3,10 +3,14 @@
 A worker is a long-lived child process holding two pieces of state:
 
 * a **matcher replica**, rebuilt once from the template the pool ships at
-  startup (class + ``__dict__`` minus the metrics binding), and
+  startup (class + ``__dict__`` minus the metrics binding and derived
+  caches), and
 * a **profile cache** keyed by profile id, so the hot path ships 16-byte
   pid pairs instead of pickled profile payloads — each profile crosses the
-  process boundary at most once per run.
+  process boundary at most once per run.  Profiles arrive either inline
+  (``scores``) or through read-only shared-memory segments the master
+  publishes once for the whole fleet (``shm_scores``); the worker handles
+  both unconditionally, the master picks the transport.
 
 Workers are *pure compute*: they evaluate the matcher's vectorized
 :meth:`~repro.matching.matcher.Matcher._batch_scores` kernel over cached
@@ -22,6 +26,7 @@ fresh interpreter).
 
 from __future__ import annotations
 
+import pickle
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,12 +42,48 @@ def rebuild_matcher(matcher_cls: type, state: dict) -> "Matcher":
 
     Bypasses ``__init__`` (the template already carries validated state) and
     leaves the replica unbound from any metrics registry: workers never
-    account, they only score.
+    account, they only score.  Derived caches are not shipped; they are
+    rebuilt empty here and refill deterministically during scoring.
     """
     matcher = matcher_cls.__new__(matcher_cls)
     matcher.__dict__.update(state)
     matcher._metrics = None
+    matcher._init_derived_state()
     return matcher
+
+
+def _read_segment(name: str, size: int) -> bytes:
+    """Attach a read-only shm segment, copy out ``size`` payload bytes.
+
+    On Python < 3.13 merely *attaching* registers the segment with the
+    resource tracker — which the master also did on create, so the
+    worker-side registration would cause spurious double-unregister noise
+    and unlink races (the master owns the unlink).  ``track=False``
+    (3.13+) skips the registration; on older versions the register call is
+    suppressed for the duration of the attach.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _skip_shm(resource_name: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - not hit here
+                original_register(resource_name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()
 
 
 def worker_main(connection: "Connection") -> None:
@@ -62,12 +103,32 @@ def worker_main(connection: "Connection") -> None:
     ``("scores", profiles, pid_pairs)``
         Cache the (previously unseen) ``profiles``, score ``pid_pairs``
         through the matcher's ``_batch_scores`` kernel, and reply with
-        ``("ok", (similarities, costs))`` or ``("error", repr)``.
+        ``("ok", (similarities, costs, kernel_counts))`` or
+        ``("error", repr)``.  The kernel counts are this chunk's staged
+        scoring outcomes; the master merges them so sharded rounds report
+        the same ``matcher.kernel.*`` telemetry as serial ones.
+    ``("shm_scores", segments, pid_pairs)``
+        Like ``scores``, but the fresh profiles arrive as ``(name, size)``
+        shared-memory segments (each holding a pickled profile list) to
+        attach, read and cache.  Reply format is identical.
+    ``("shm_probe", name, size)``
+        Attach the probe segment and verify its payload; reply
+        ``("ok", "shm")`` or ``("error", repr)`` — the startup test that
+        decides whether the master may use the shm transport at all.
     ``("stop",)``
         Exit the loop.
     """
     matcher: "Matcher | None" = None
     profiles: dict = {}
+
+    def score(pid_pairs) -> tuple:
+        pairs = [(profiles[pid_x], profiles[pid_y]) for pid_x, pid_y in pid_pairs]
+        counts = matcher.kernel_counts
+        for key in counts:
+            counts[key] = 0
+        similarities, costs = matcher._batch_scores(pairs)
+        return similarities, costs, dict(counts)
+
     while True:
         try:
             message = connection.recv()
@@ -78,9 +139,33 @@ def worker_main(connection: "Connection") -> None:
             for profile in message[1]:
                 profiles[profile.pid] = profile
             try:
-                pairs = [(profiles[pid_x], profiles[pid_y]) for pid_x, pid_y in message[2]]
-                reply = ("ok", matcher._batch_scores(pairs))
+                reply = ("ok", score(message[2]))
             except Exception as error:  # propagate, let the master degrade
+                reply = ("error", repr(error))
+            try:
+                connection.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "shm_scores":
+            try:
+                for name, size in message[1]:
+                    for profile in pickle.loads(_read_segment(name, size)):
+                        profiles[profile.pid] = profile
+                reply = ("ok", score(message[2]))
+            except Exception as error:  # propagate, let the master degrade
+                reply = ("error", repr(error))
+            try:
+                connection.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+        elif kind == "shm_probe":
+            try:
+                payload = _read_segment(message[1], message[2])
+                if payload == b"repro-shm-probe":
+                    reply = ("ok", "shm")
+                else:  # pragma: no cover - torn write
+                    reply = ("error", "shm probe payload mismatch")
+            except Exception as error:
                 reply = ("error", repr(error))
             try:
                 connection.send(reply)

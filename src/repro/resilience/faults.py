@@ -282,6 +282,11 @@ class FaultyMatcher(Matcher):
     def work_units(self, profile_x: EntityProfile, profile_y: EntityProfile) -> float:
         return self.inner.work_units(profile_x, profile_y)
 
+    def kernel_telemetry(self) -> dict[str, int]:
+        # ``similarity`` delegates to the wrapped matcher, so that is where
+        # the staged-kernel counts accumulate.
+        return self.inner.kernel_telemetry()
+
     # -- fault schedule --------------------------------------------------
     def evaluate(self, profile_x: EntityProfile, profile_y: EntityProfile) -> MatchResult:
         draw = self._rng.random()
@@ -308,6 +313,7 @@ class FaultyMatcher(Matcher):
 
     def reset_stats(self) -> None:
         super().reset_stats()
+        self.inner.reset_stats()
         self.faults_injected = 0
         self.spikes_injected = 0
         self._rng = random.Random(self.seed)

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
-from repro.matching.matcher import CostModel, EditDistanceMatcher, JaccardMatcher
+from repro.matching.matcher import (
+    KERNEL_COUNTERS,
+    CostModel,
+    EditDistanceMatcher,
+    JaccardMatcher,
+)
 
 from tests.conftest import make_profile
 
@@ -123,3 +130,121 @@ class TestEditDistanceMatcher:
         cached = matcher._text_cache[a.pid]
         matcher.evaluate(a, b)
         assert matcher._text_cache[a.pid] is cached
+
+
+class TestShortTextRegression:
+    """Texts shorter than one bigram must still classify correctly.
+
+    Regression: the bigram prefilter saw an empty set for 0/1-character
+    texts, scored the pair 0.0, and rejected *identical* profiles as
+    non-matches.  Such pairs now route around the prefilter to the exact
+    edit-distance kernel.
+    """
+
+    @pytest.mark.parametrize("text", ["x", "7", "𝄞"])
+    def test_identical_one_char_profiles_match(self, text):
+        matcher = EditDistanceMatcher(0.8)
+        result = matcher.evaluate(make_profile(0, text), make_profile(1, text))
+        assert result.similarity == 1.0
+        assert result.is_match
+
+    def test_one_char_versus_near_identical(self):
+        # "ab" vs "a": distance 1 over longest 2 -> similarity 0.5; the
+        # short side has an empty bigram set, so only the exact kernel can
+        # produce this value (the old prefilter returned 0.0).
+        matcher = EditDistanceMatcher(0.5)
+        result = matcher.evaluate(make_profile(0, "ab"), make_profile(1, "a"))
+        assert result.similarity == 0.5
+        assert result.is_match
+
+    def test_distinct_one_char_profiles_do_not_match(self):
+        matcher = EditDistanceMatcher(0.8)
+        result = matcher.evaluate(make_profile(0, "x"), make_profile(1, "y"))
+        assert result.similarity == 0.0
+        assert not result.is_match
+
+    def test_batch_path_agrees_on_short_texts(self):
+        matcher = EditDistanceMatcher(0.8)
+        pairs = [
+            (make_profile(0, "x"), make_profile(1, "x")),
+            (make_profile(2, "a"), make_profile(3, "b")),
+            (make_profile(4, "ab"), make_profile(5, "a")),
+            (make_profile(6, "alpha beta"), make_profile(7, "alpha beta")),
+        ]
+        scalar = [EditDistanceMatcher(0.8).evaluate(x, y) for x, y in pairs]
+        batched = matcher.evaluate_batch(pairs)
+        assert batched == scalar
+        assert batched[0].is_match
+
+
+class TestEditDistanceKernelTelemetry:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            EditDistanceMatcher(0.8, kernel="simd")
+
+    def test_staged_counts_cover_every_pair(self):
+        matcher = EditDistanceMatcher(0.8)
+        pairs = [
+            (make_profile(0, "x"), make_profile(1, "x")),  # short text
+            (make_profile(2, "aaaa bbbb"), make_profile(3, "xxxx yyyy")),  # prefilter
+            (make_profile(4, "ab"), make_profile(5, "ab" * 40)),  # length cut
+            (make_profile(6, "alpha beta"), make_profile(7, "alpha betas")),  # DP
+        ]
+        matcher.evaluate_batch(pairs)
+        counts = matcher.kernel_telemetry()
+        assert set(counts) == set(KERNEL_COUNTERS)
+        assert counts["short_texts"] == 1
+        assert counts["prefilter_rejects"] == 1
+        assert counts["length_cuts"] == 1
+        assert counts["dp_calls"] == 1
+        matcher.reset_stats()
+        assert all(value == 0 for value in matcher.kernel_telemetry().values())
+
+
+class TestSnapshotExcludesDerivedCaches:
+    def test_text_cache_not_in_snapshot(self):
+        matcher = EditDistanceMatcher(0.8)
+        for pid in range(50):
+            matcher.evaluate(
+                make_profile(2 * pid, f"profile number {pid} alpha beta gamma"),
+                make_profile(2 * pid + 1, f"profile number {pid} alpha beta gamma!"),
+            )
+        assert len(matcher._text_cache) == 100
+        state = matcher.snapshot_state()
+        assert "_text_cache" not in state
+        assert "_metrics" not in state
+
+    def test_snapshot_payload_stays_bounded(self):
+        """Checkpoint payload must not grow with the number of profiles
+        seen — the text cache is derivable state."""
+        matcher = EditDistanceMatcher(0.8)
+        empty_size = len(pickle.dumps(matcher.snapshot_state()))
+        for pid in range(500):
+            matcher.evaluate(
+                make_profile(2 * pid, f"some long profile text number {pid} " * 3),
+                make_profile(2 * pid + 1, f"other profile text number {pid} " * 3),
+            )
+        warm_size = len(pickle.dumps(matcher.snapshot_state()))
+        assert warm_size <= empty_size + 256
+
+    def test_restore_rebuilds_cache_and_scores_identically(self):
+        matcher = EditDistanceMatcher(0.8)
+        pairs = [
+            (
+                make_profile(2 * pid, f"record {pid} alpha beta"),
+                make_profile(2 * pid + 1, f"record {pid} alpha betas"),
+            )
+            for pid in range(20)
+        ]
+        expected = matcher.evaluate_batch(pairs)
+        snapshot = matcher.snapshot_state()
+
+        restored = EditDistanceMatcher(0.99)
+        restored.restore_state(snapshot)
+        assert restored.threshold == matcher.threshold
+        assert restored._text_cache == {}
+        assert restored.kernel_telemetry() == matcher.kernel_telemetry()
+        fresh = EditDistanceMatcher(0.8)
+        fresh.restore_state(snapshot)
+        fresh.reset_stats()
+        assert fresh.evaluate_batch(pairs) == expected

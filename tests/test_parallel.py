@@ -12,6 +12,9 @@ executor choice, never a semantics choice.  Whatever the worker count,
   telemetry flushes at finalize, after the last possible checkpoint;
 * a pool that cannot start or breaks degrades to in-process scoring with
   the same results, counted in ``parallel.fallbacks``;
+* fresh profiles cross the process boundary once, through read-only
+  shared-memory segments when the startup probe succeeds (inline pickles
+  otherwise) — transport choice never changes results;
 * matchers that cannot batch (``FaultyMatcher``) never reach the pool.
 """
 
@@ -149,6 +152,60 @@ def test_pool_batch_scores_bit_identical(dataset, matcher_name):
         pool.close()
 
 
+def test_pool_shm_transport_publishes_each_profile_once(dataset, ed_pool):
+    """With shm active, fresh profiles ship once through shared memory and
+    repeat rounds publish nothing new — while staying bit-identical."""
+    if not ed_pool.shm_active:
+        pytest.skip("shared-memory transport unavailable on this host")
+    rng = random.Random(11)
+    profiles = dataset.profiles
+    pairs = [
+        (profiles[rng.randrange(len(profiles))], profiles[rng.randrange(len(profiles))])
+        for _ in range(120)
+    ]
+    reference = _build_matcher("ED")._batch_scores(pairs)
+    ed_pool.begin_run()
+    segments_before = ed_pool.shm_segments_published
+    assert ed_pool.batch_scores(pairs) == reference
+    first_round = ed_pool.shm_segments_published - segments_before
+    assert first_round > 0
+    assert ed_pool.shm_bytes_published > 0
+    # Same profiles again: the per-run published set makes the second
+    # round metadata-only.
+    assert ed_pool.batch_scores(pairs[::-1]) == (
+        reference[0][::-1],
+        reference[1][::-1],
+    )
+    assert ed_pool.shm_segments_published - segments_before == first_round
+
+
+def test_pool_pickle_fallback_bit_identical(dataset):
+    """A pool whose shm probe failed degrades to inline pickled profiles
+    with identical results and zero shm telemetry."""
+    pool = WorkerPool.create(2, _build_matcher("ED"), min_shard=1)
+    if pool is None:
+        pytest.skip("process pool unavailable on this host")
+    try:
+        pool._use_shm = False
+        rng = random.Random(13)
+        profiles = dataset.profiles
+        pairs = [
+            (
+                profiles[rng.randrange(len(profiles))],
+                profiles[rng.randrange(len(profiles))],
+            )
+            for _ in range(80)
+        ]
+        reference = _build_matcher("ED")._batch_scores(pairs)
+        pool.begin_run()
+        assert not pool.shm_active
+        assert pool.batch_scores(pairs) == reference
+        assert pool.shm_segments_published == 0
+        assert pool.shm_bytes_published == 0
+    finally:
+        pool.close()
+
+
 def test_pool_create_refuses_single_worker():
     assert WorkerPool.create(1, _build_matcher("JS")) is None
 
@@ -200,6 +257,28 @@ def test_worker_count_invariance_pipelined_engine(dataset, plan, ed_pool):
     )
     assert _comparable(sharded) == _comparable(serial)
     assert sharded.details["metrics"]["counters"]["parallel.rounds_sharded"] > 0
+
+
+def test_sharded_run_reports_shm_and_kernel_telemetry(dataset, plan, ed_pool):
+    """Sharded runs surface the shm transfer counters, and the workers'
+    staged-scoring outcomes merge back so ``matcher.kernel.*`` telemetry is
+    bit-identical to the serial run (it is NOT stripped by
+    :func:`strip_parallel_telemetry`)."""
+    serial, _ = _run(StreamingEngine, dataset, plan, "I-PES")
+    sharded, _ = _run(
+        StreamingEngine, dataset, plan, "I-PES", workers=ed_pool.size, pool=ed_pool
+    )
+    counters = sharded.details["metrics"]["counters"]
+    serial_counters = serial.details["metrics"]["counters"]
+    kernel_keys = [key for key in counters if key.startswith("matcher.kernel.")]
+    assert kernel_keys
+    assert counters["matcher.kernel.dp_calls"] > 0
+    for key in kernel_keys:
+        assert counters[key] == serial_counters[key]
+    if ed_pool.shm_active:
+        assert counters["parallel.shm_segments"] > 0
+        assert counters["parallel.shm_bytes"] > 0
+    assert serial_counters["parallel.shm_segments"] == 0
 
 
 def test_metric_schema_invariant_across_worker_counts(dataset, plan, ed_pool):

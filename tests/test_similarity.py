@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro
 from repro.matching.similarity import (
+    ED_KERNELS,
     dice,
     jaccard,
     levenshtein,
@@ -16,6 +23,12 @@ from repro.matching.similarity import (
 
 short_text = st.text(alphabet="abcde ", max_size=24)
 token_sets = st.frozensets(st.sampled_from(["a", "b", "c", "d", "e", "f"]), max_size=6)
+
+# Includes characters beyond the Basic Multilingual Plane (a clef and an
+# emoji) so the bit-vector kernel is exercised on astral-plane code points,
+# and is long enough (via max_size below) to cross the 64-character word
+# boundary into the multi-word big-int regime.
+kernel_text = st.text(alphabet="abcd 𝄞😀é", max_size=90)
 
 
 class TestJaccard:
@@ -111,6 +124,96 @@ class TestLevenshtein:
     @given(short_text)
     def test_identity(self, a):
         assert levenshtein(a, a) == 0
+
+
+class TestEditDistanceKernels:
+    """All kernels must return identical integers for every input."""
+
+    @pytest.mark.parametrize("kernel", ED_KERNELS)
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("kitten", "sitting", 3),
+            ("𝄞😀", "😀𝄞", 2),
+            ("a" * 70, "a" * 69 + "b", 1),
+        ],
+    )
+    def test_known_distances_every_kernel(self, kernel, a, b, expected):
+        assert levenshtein(a, b, kernel=kernel) == expected
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            levenshtein("ab", "cd", kernel="simd")
+
+    @given(kernel_text, kernel_text, st.integers(min_value=0, max_value=12))
+    @settings(max_examples=150)
+    def test_kernels_agree_under_bound(self, a, b, k):
+        """Bounded distances straddling ``k`` agree across every kernel,
+        including the capped ``k + 1`` overflow value."""
+        results = {
+            kernel: levenshtein(a, b, max_distance=k, kernel=kernel)
+            for kernel in ED_KERNELS
+        }
+        assert len(set(results.values())) == 1, results
+        full = levenshtein(a, b, kernel="full")
+        assert results["auto"] == (full if full <= k else k + 1)
+
+    @given(kernel_text, kernel_text)
+    @settings(max_examples=60)
+    def test_kernels_agree_unbounded(self, a, b):
+        results = {kernel: levenshtein(a, b, kernel=kernel) for kernel in ED_KERNELS}
+        assert len(set(results.values())) == 1, results
+
+    def test_long_pattern_uses_multiword_bitvector(self):
+        """Patterns past 64 chars exercise the big-int Myers regime."""
+        base = "the quick brown fox jumps over the lazy dog " * 3  # 135 chars
+        edited = base[:40] + "X" + base[41:100] + "YZ" + base[100:]
+        expected = levenshtein(base, edited, kernel="full")
+        assert expected > 0
+        assert levenshtein(base, edited, kernel="myers") == expected
+        assert levenshtein(base, edited, max_distance=expected, kernel="myers") == expected
+        assert (
+            levenshtein(base, edited, max_distance=expected - 1, kernel="myers")
+            == expected
+        )
+
+    @given(kernel_text, kernel_text, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_normalized_similarity_bit_identical_across_kernels(self, a, b, t):
+        floats = {
+            kernel: normalized_edit_similarity(a, b, min_similarity=t, kernel=kernel)
+            for kernel in ED_KERNELS
+        }
+        assert len({value.hex() for value in floats.values()}) == 1, floats
+
+    def test_float_bit_identity_across_hash_seeds(self):
+        """``peq`` is a dict keyed by characters, so iteration order could
+        vary with PYTHONHASHSEED — the similarity floats must not."""
+        script = (
+            "from repro.matching.similarity import ED_KERNELS, "
+            "normalized_edit_similarity as nes\n"
+            "pairs = [('kitten', 'sitting'), ('𝄞😀ab', 'ab😀𝄞'), "
+            "('progressive entity resolution over incremental data streams "
+            "with budgets', 'progresive entity resolutoin over incremental "
+            "data stream with budget'), ('', 'x')]\n"
+            "print([nes(a, b, min_similarity=0.5, kernel=k).hex() "
+            "for a, b in pairs for k in ED_KERNELS])\n"
+        )
+        src_dir = str(Path(repro.__file__).parents[1])
+        outputs = set()
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src_dir)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
 
 
 class TestNormalizedEditSimilarity:
