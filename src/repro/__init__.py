@@ -60,6 +60,7 @@ from repro.resilience import (
     RetryPolicy,
     SimulatedCrash,
     TransientMatcherError,
+    WorkerFaultSpec,
     apply_faults,
 )
 from repro.streaming import RunResult, StreamingEngine
@@ -67,7 +68,13 @@ from repro.streaming.pipelined import PipelinedStreamingEngine
 
 # The session facade composes everything above, so it imports last.
 from repro.api import ERSession, EngineOptions
-from repro.parallel import WorkerPool, WorkerPoolError, strip_parallel_telemetry
+from repro.parallel import (
+    SupervisionConfig,
+    WorkerPool,
+    WorkerPoolError,
+    strip_parallel_telemetry,
+    sweep_stale_segments,
+)
 
 __version__ = "1.0.0"
 
@@ -106,10 +113,13 @@ __all__ = [
     "SimulatedCrash",
     "StreamPlan",
     "StreamingEngine",
+    "SupervisionConfig",
     "TransientMatcherError",
+    "WorkerFaultSpec",
     "WorkerPool",
     "WorkerPoolError",
     "strip_parallel_telemetry",
+    "sweep_stale_segments",
     "apply_faults",
     "available_datasets",
     "load_dataset",

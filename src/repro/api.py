@@ -46,7 +46,13 @@ from repro.evaluation.experiments import (
 from repro.matching.matcher import Matcher
 from repro.matching.similarity import ED_KERNELS
 from repro.resilience.checkpoint import EngineCheckpoint
-from repro.resilience.faults import FaultReport, FaultSpec, FaultyMatcher, apply_faults
+from repro.resilience.faults import (
+    FaultReport,
+    FaultSpec,
+    FaultyMatcher,
+    WorkerFaultSpec,
+    apply_faults,
+)
 from repro.resilience.retry import ResilienceConfig
 from repro.streaming.engine import RunResult, StreamingEngine
 from repro.streaming.pipelined import PipelinedStreamingEngine
@@ -72,14 +78,42 @@ class EngineOptions:
     #: :data:`repro.matching.similarity.ED_KERNELS`).  All kernels produce
     #: identical distances; this is a wall-clock/debugging escape hatch.
     ed_kernel: str = "auto"
+    #: Fleet-supervision knobs (``workers > 1`` only; wall-clock behavior,
+    #: never results).  ``None`` resolves from the environment
+    #: (``REPRO_REPLY_TIMEOUT_S`` / ``REPRO_HANDSHAKE_TIMEOUT_S``) or the
+    #: built-in defaults — see :mod:`repro.parallel.supervision`.
+    reply_timeout_s: float | None = None
+    handshake_timeout_s: float | None = None
+    max_respawns: int | None = None
+    #: Smallest emission batch worth sharding across the fleet (``None``:
+    #: the pool default).  A sharding *threshold* only — results are
+    #: bit-identical either way; chaos tests/benchmarks drop it to 1 so
+    #: even tiny rounds exercise the workers.
+    min_shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.min_shard is not None and self.min_shard < 1:
+            raise ValueError(f"min_shard must be >= 1, got {self.min_shard}")
         if self.ed_kernel not in ED_KERNELS:
             raise ValueError(
                 f"ed_kernel must be one of {ED_KERNELS}, got {self.ed_kernel!r}"
             )
+        if self.handshake_timeout_s is not None and self.handshake_timeout_s <= 0:
+            raise ValueError("handshake_timeout_s must be positive (or None)")
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0 (or None)")
+
+    def supervision(self) -> "SupervisionConfig":
+        """These options as a pool-side supervision configuration."""
+        from repro.parallel.supervision import SupervisionConfig
+
+        return SupervisionConfig(
+            handshake_timeout_s=self.handshake_timeout_s,
+            reply_timeout_s=self.reply_timeout_s,
+            max_respawns=self.max_respawns,
+        )
 
 
 class ERSession:
@@ -109,6 +143,13 @@ class ERSession:
         :class:`FaultSpec`.  Perturbs the stream plan and wraps the matcher
         with :class:`FaultyMatcher`; fault reports accumulate on
         :attr:`fault_reports`.
+    worker_faults:
+        ``None`` (default), a seed for :meth:`WorkerFaultSpec.chaos`, or a
+        full :class:`WorkerFaultSpec`.  Injects seeded *process-level*
+        faults (SIGKILL, hangs, corrupt replies) into the session's worker
+        fleet; the supervision layer absorbs them, so results stay
+        bit-identical to a fault-free run.  Only meaningful with
+        ``workers > 1``.
     checkpoint_every / resilience:
         Checkpoint cadence override and the full resilience knob set,
         passed through to the engine.
@@ -128,6 +169,7 @@ class ERSession:
         seed: int = 0,
         workers: int | None = None,
         faults: int | FaultSpec | None = None,
+        worker_faults: "int | WorkerFaultSpec | None" = None,
         checkpoint_every: float | None = None,
         resilience: ResilienceConfig | None = None,
     ) -> None:
@@ -151,6 +193,10 @@ class ERSession:
             self.fault_spec: FaultSpec | None = faults
         else:
             self.fault_spec = FaultSpec.chaos(int(faults))
+        if worker_faults is None or isinstance(worker_faults, WorkerFaultSpec):
+            self.worker_fault_spec: WorkerFaultSpec | None = worker_faults
+        else:
+            self.worker_fault_spec = WorkerFaultSpec.chaos(int(worker_faults))
         self.checkpoint_every = checkpoint_every
         self.resilience = resilience
         #: One :class:`FaultReport` per distinct stream plan the session
@@ -230,6 +276,9 @@ class ERSession:
             batch_matching=not options.scalar_matching,
             workers=options.workers,
             pool=self._shared_pool(matcher),
+            supervision=options.supervision(),
+            worker_faults=self.worker_fault_spec,
+            min_shard=options.min_shard,
         )
 
     def _shared_pool(self, matcher: Matcher):
@@ -243,9 +292,19 @@ class ERSession:
             return None
         if self._pool is None and not self._pool_attempted:
             self._pool_attempted = True
-            from repro.parallel.pool import WorkerPool
+            from repro.parallel.pool import DEFAULT_MIN_SHARD, WorkerPool
 
-            self._pool = WorkerPool.create(options.workers, matcher)
+            self._pool = WorkerPool.create(
+                options.workers,
+                matcher,
+                min_shard=(
+                    options.min_shard
+                    if options.min_shard is not None
+                    else DEFAULT_MIN_SHARD
+                ),
+                supervision=options.supervision(),
+                worker_faults=self.worker_fault_spec,
+            )
         pool = self._pool
         return pool if pool is not None and pool.healthy else None
 
@@ -287,6 +346,7 @@ class ERSession:
         fan_out = (
             fan_out
             and self.fault_spec is None
+            and self.worker_fault_spec is None
             and self.checkpoint_every is None
             and self.resilience is None
         )

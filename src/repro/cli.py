@@ -93,6 +93,33 @@ def build_parser() -> argparse.ArgumentParser:
                  "bit-identical for every N (--workers 1 is the serial "
                  "escape hatch)",
         )
+        sub.add_argument(
+            "--reply-timeout", dest="reply_timeout_s", type=float,
+            default=None, metavar="SECONDS",
+            help="fleet-wide wall-clock deadline for each worker scatter "
+                 "round; a worker silent past it is evicted, its chunk "
+                 "re-scored in-process, and the slot respawned (default: "
+                 "$REPRO_REPLY_TIMEOUT_S or 60; 0 disables)",
+        )
+        sub.add_argument(
+            "--handshake-timeout", dest="handshake_timeout_s", type=float,
+            default=None, metavar="SECONDS",
+            help="fleet-wide deadline for the worker startup/respawn "
+                 "handshake (default: $REPRO_HANDSHAKE_TIMEOUT_S or 30)",
+        )
+        sub.add_argument(
+            "--max-respawns", type=int, default=None, metavar="N",
+            help="respawn attempts per worker slot before the slot is "
+                 "terminally dead; a fleet of only dead slots degrades to "
+                 "in-process scoring for good (default: 3)",
+        )
+        sub.add_argument(
+            "--worker-faults", type=int, default=None, metavar="SEED",
+            help="inject seeded process-level chaos into the worker fleet "
+                 "(SIGKILL mid-round, hangs past the reply deadline, "
+                 "corrupt replies); supervision absorbs them — results "
+                 "stay bit-identical",
+        )
 
     run_parser = subparsers.add_parser("run", help="run one algorithm over a stream")
     run_parser.add_argument("--algorithm", default="I-PES", choices=list(SYSTEM_NAMES))
@@ -129,6 +156,9 @@ def _session(args, systems) -> ERSession:
             per_pair_weighting=args.per_pair_weighting,
             workers=args.workers,
             ed_kernel=args.ed_kernel,
+            reply_timeout_s=args.reply_timeout_s,
+            handshake_timeout_s=args.handshake_timeout_s,
+            max_respawns=args.max_respawns,
         ),
         scale=args.scale,
         n_increments=args.n_increments,
@@ -136,6 +166,7 @@ def _session(args, systems) -> ERSession:
         budget=args.budget,
         seed=args.seed,
         faults=args.faults,
+        worker_faults=args.worker_faults,
         checkpoint_every=args.checkpoint_every,
     )
 

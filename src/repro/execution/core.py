@@ -97,6 +97,11 @@ PRESEEDED_COUNTERS = (
     "parallel.rounds_sharded",
     "parallel.shm_bytes",
     "parallel.shm_segments",
+    "parallel.supervision.evictions",
+    "parallel.supervision.reassigned_chunks",
+    "parallel.supervision.reply_timeouts",
+    "parallel.supervision.respawns",
+    "parallel.supervision.stale_segments_swept",
 ) + tuple(f"matcher.kernel.{name}" for name in sorted(KERNEL_COUNTERS))
 
 #: Phase timers every run exports even when they never fire, for the same
@@ -147,6 +152,8 @@ class RunState:
         # across worker counts.
         "parallel_rounds", "parallel_pairs", "parallel_fallbacks",
         "scatter_wall_start", "shm_segments_start", "shm_bytes_start",
+        "evictions_start", "respawns_start", "reassigned_start",
+        "reply_timeouts_start",
     )
 
 
@@ -180,6 +187,21 @@ class ExecutionCore:
         instead of creating one (e.g. shared across runs by
         :class:`repro.api.ERSession`).  The engine resets its profile
         caches at the start of every run but never closes it.
+    supervision:
+        Fleet-supervision knobs (reply deadline, handshake deadline,
+        respawn budget/backoff) applied to any pool *this engine* creates;
+        externally supplied pools carry their own configuration.  ``None``
+        means environment-resolved defaults
+        (:class:`~repro.parallel.supervision.SupervisionConfig`).
+    worker_faults:
+        Seeded process-level chaos
+        (:class:`~repro.resilience.faults.WorkerFaultSpec`) for any pool
+        this engine creates — kills, hangs, corrupt replies on the
+        workers.  Supervision absorbs them; results stay bit-identical.
+    min_shard:
+        Smallest emission batch worth sharding, applied to any pool this
+        engine creates (``None``: the pool default).  A threshold only —
+        results are bit-identical either way.
     """
 
     _KIND = "abstract"
@@ -197,11 +219,16 @@ class ExecutionCore:
         batch_matching: bool = True,
         workers: int = 1,
         pool: "object | None" = None,
+        supervision: "object | None" = None,
+        worker_faults: "object | None" = None,
+        min_shard: "int | None" = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if min_shard is not None and min_shard < 1:
+            raise ValueError("min_shard must be >= 1 (or None)")
         self.matcher = matcher
         self.budget = budget
         self.match_cost_prior = match_cost_prior
@@ -212,6 +239,9 @@ class ExecutionCore:
         self.resilience = resilience
         self.batch_matching = batch_matching
         self.workers = workers
+        self.supervision = supervision
+        self.worker_faults = worker_faults
+        self.min_shard = min_shard
         self._pool = pool
         self._pool_owned = False
         self._pool_attempted = False
@@ -294,6 +324,10 @@ class ExecutionCore:
         state.scatter_wall_start = pool.scatter_wall_s if pool is not None else 0.0
         state.shm_segments_start = pool.shm_segments_published if pool is not None else 0
         state.shm_bytes_start = pool.shm_bytes_published if pool is not None else 0
+        state.evictions_start = pool.evictions if pool is not None else 0
+        state.respawns_start = pool.respawns if pool is not None else 0
+        state.reassigned_start = pool.reassigned_chunks if pool is not None else 0
+        state.reply_timeouts_start = pool.reply_timeouts if pool is not None else 0
 
         if resume_from is None:
             state.store.begin_run()
@@ -628,9 +662,17 @@ class ExecutionCore:
             if self.workers <= 1 or self._pool_attempted:
                 return None
             self._pool_attempted = True
-            from repro.parallel.pool import WorkerPool
+            from repro.parallel.pool import DEFAULT_MIN_SHARD, WorkerPool
 
-            pool = WorkerPool.create(self.workers, self.matcher)
+            pool = WorkerPool.create(
+                self.workers,
+                self.matcher,
+                min_shard=(
+                    self.min_shard if self.min_shard is not None else DEFAULT_MIN_SHARD
+                ),
+                supervision=self.supervision,
+                worker_faults=self.worker_faults,
+            )
             if pool is None:
                 state.parallel_fallbacks += 1
                 return None
@@ -643,8 +685,10 @@ class ExecutionCore:
         try:
             scores = pool.batch_scores(pairs)
         except WorkerPoolError:
-            # The pool marked itself broken; this and all later rounds
-            # score in-process (bit-identical, just not parallel).
+            # No worker was alive this round (or the pool is terminally
+            # broken): score in-process, bit-identically.  A non-broken
+            # pool is consulted again next round — respawn may have healed
+            # the fleet by then.
             state.parallel_fallbacks += 1
             return None
         state.parallel_rounds += 1
@@ -737,6 +781,26 @@ class ExecutionCore:
             )
             metrics.count(
                 "parallel.shm_bytes", pool.shm_bytes_published - state.shm_bytes_start
+            )
+            metrics.count(
+                "parallel.supervision.evictions", pool.evictions - state.evictions_start
+            )
+            metrics.count(
+                "parallel.supervision.respawns", pool.respawns - state.respawns_start
+            )
+            metrics.count(
+                "parallel.supervision.reassigned_chunks",
+                pool.reassigned_chunks - state.reassigned_start,
+            )
+            metrics.count(
+                "parallel.supervision.reply_timeouts",
+                pool.reply_timeouts - state.reply_timeouts_start,
+            )
+            # Pool-lifetime fact, not a per-run delta: how much crash
+            # debris from dead masters the pool reaped when it started.
+            metrics.count(
+                "parallel.supervision.stale_segments_swept",
+                pool.stale_segments_swept,
             )
         # Effective fleet size, not the requested one: a failed pool reports 1.
         metrics.gauge(

@@ -3,10 +3,14 @@
 Two independent tiers, both configured through :class:`repro.api.ERSession`
 (or ``--workers N`` on the CLI):
 
-* **Tier A** (:mod:`repro.parallel.pool`): a persistent :class:`WorkerPool`
-  shards each ``evaluate_batch`` round's similarity scoring across worker
-  processes, bit-identical to the in-process kernel (the master keeps the
-  virtual clock, the store and all accounting).
+* **Tier A** (:mod:`repro.parallel.pool`): a persistent, *supervised*
+  :class:`WorkerPool` shards each ``evaluate_batch`` round's similarity
+  scoring across worker processes, bit-identical to the in-process kernel
+  (the master keeps the virtual clock, the store and all accounting).
+  The supervision layer (:mod:`repro.parallel.supervision`) detects dead,
+  hung and garbled workers, rescues their in-flight chunks in-process, and
+  respawns them with capped jittered backoff — faults change *where* pairs
+  are scored, never *what* is scored.
 * **Tier B** (:mod:`repro.parallel.cells`): :func:`run_cells` fans the
   independent cells of a comparison out across processes with deterministic
   collation.
@@ -21,14 +25,23 @@ and the metrics snapshot minus the ``parallel.*`` counters/gauges and the
 from __future__ import annotations
 
 from repro.parallel.cells import run_cells
-from repro.parallel.pool import DEFAULT_MIN_SHARD, WorkerPool, WorkerPoolError
+from repro.parallel.pool import (
+    DEFAULT_MIN_SHARD,
+    WorkerPool,
+    WorkerPoolError,
+    sweep_stale_segments,
+)
+from repro.parallel.supervision import DEFAULT_SUPERVISION, SupervisionConfig
 
 __all__ = [
     "DEFAULT_MIN_SHARD",
+    "DEFAULT_SUPERVISION",
+    "SupervisionConfig",
     "WorkerPool",
     "WorkerPoolError",
     "run_cells",
     "strip_parallel_telemetry",
+    "sweep_stale_segments",
 ]
 
 #: The phase timer that only accumulates when a pool is live.

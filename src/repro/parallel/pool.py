@@ -1,4 +1,5 @@
-"""The persistent process pool that shards batched matcher evaluation.
+"""The persistent, self-healing process pool that shards batched matcher
+evaluation.
 
 Tier A of the parallel layer (see ``docs/api.md``): the master engine keeps
 sole ownership of the virtual clock, the
@@ -23,58 +24,220 @@ Design points:
   (not once per worker); scoring messages carry only segment names plus
   pid pairs.  Hosts without usable shm (probed at startup) degrade to the
   classic per-worker pickle shipping, bit-identically.
-* **graceful degradation** — :meth:`WorkerPool.create` returns ``None``
-  when the pool cannot start, and any mid-run transport failure marks the
-  pool broken and raises :class:`WorkerPoolError`; callers fall back to the
-  in-process kernel (which is bit-identical anyway) and count the fallback.
+* **supervised degradation** — every worker is tracked through the slot
+  state machine of :mod:`repro.parallel.supervision`.  A dead, hung
+  (compute replies carry a fleet-wide wall-clock deadline, mirroring the
+  handshake deadline) or garbled worker is *evicted alone*: its in-flight
+  chunk is re-scored in-process and the round completes bit-identically;
+  the slot respawns with capped, jittered exponential backoff and
+  shm-generation catch-up.  Only a fleet whose every slot has exhausted
+  its respawn budget turns ``broken`` — the pool-level terminal state —
+  after which callers fall back to the in-process kernel for good.
+* **crash-safe shm lifecycle** — published segments carry recognizable
+  ``repro_shm_<pid>_*`` names, are tracked in a module registry swept by
+  an ``atexit`` hook (so a master that never reaches ``close()`` still
+  unlinks them), and pool startup reaps stale segments left behind by
+  dead masters (a SIGKILLed master cannot run its own sweep).
+* **deterministic chaos** — :class:`~repro.resilience.faults.WorkerFaultSpec`
+  injects seeded process-level faults (SIGKILL mid-round, hang past the
+  reply deadline, corrupt/truncated reply) into the workers, making every
+  supervision path testable with exact eviction/respawn counts.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
 import pickle
+import random
+import re
 import time
 from typing import TYPE_CHECKING, Sequence
+
+from repro.parallel.supervision import (
+    ALIVE,
+    DEAD,
+    EVICTED,
+    RESPAWNING,
+    SUSPECT,
+    DEFAULT_HANDSHAKE_TIMEOUT_S,
+    DEFAULT_SUPERVISION,
+    SupervisionConfig,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.profile import EntityProfile
     from repro.matching.matcher import Matcher
+    from repro.resilience.faults import WorkerFaultSpec
 
-__all__ = ["WorkerPool", "WorkerPoolError", "DEFAULT_MIN_SHARD"]
+__all__ = [
+    "WorkerPool",
+    "WorkerPoolError",
+    "DEFAULT_MIN_SHARD",
+    "HANDSHAKE_TIMEOUT_S",
+    "sweep_stale_segments",
+]
 
 #: Below this many pairs the per-message transport overhead outweighs any
 #: parallel win, so the engine keeps small batches in-process.  Sharding
 #: threshold only — results are bit-identical either way.
 DEFAULT_MIN_SHARD = 64
 
-#: How long the whole fleet gets to answer the startup ping — one shared
-#: deadline, not per worker, so a hung fleet of N workers degrades after
-#: 30 s instead of N×30 s.  Spawn on a loaded host takes O(seconds); a
-#: fleet silent this long is treated as failed and the pool refuses to
-#: start.
-HANDSHAKE_TIMEOUT_S = 30.0
+#: Back-compat alias; the live value is resolved per pool through
+#: :class:`~repro.parallel.supervision.SupervisionConfig` (environment
+#: variable ``REPRO_HANDSHAKE_TIMEOUT_S``, then this default).
+HANDSHAKE_TIMEOUT_S = DEFAULT_HANDSHAKE_TIMEOUT_S
 
 #: Known bytes round-tripped through a probe segment at startup to prove
 #: the workers can attach shared memory on this host.
 _SHM_PROBE_PAYLOAD = b"repro-shm-probe"
 
+#: Shared-memory segments published by this process and not yet unlinked:
+#: name → SharedMemory.  The atexit sweep below is the backstop for a
+#: master that exits without ever reaching ``close()``; pool startup reaps
+#: what even that could not cover (a SIGKILLed master) by name pattern.
+_LIVE_SEGMENTS: dict[str, object] = {}
+_SEGMENT_SEQ = 0
+_SEGMENT_NAME = re.compile(r"^repro_shm_(\d+)_\d+$")
+
+
+def _sweep_live_segments() -> None:  # pragma: no cover - exit hook
+    """atexit backstop: unlink every segment ``close()`` never released."""
+    for segment in list(_LIVE_SEGMENTS.values()):
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:
+            pass
+    _LIVE_SEGMENTS.clear()
+
+
+atexit.register(_sweep_live_segments)
+
+
+def _create_segment(size: int):
+    """A tracked shm segment named ``repro_shm_<pid>_<seq>``.
+
+    The embedded pid is what makes crash debris recognizable: a segment
+    whose creating process no longer exists is stale by construction and
+    reaped by :func:`sweep_stale_segments` at the next pool start.
+    """
+    global _SEGMENT_SEQ
+    from multiprocessing import shared_memory
+
+    pid = os.getpid()
+    while True:
+        _SEGMENT_SEQ += 1
+        name = f"repro_shm_{pid}_{_SEGMENT_SEQ}"
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:  # pragma: no cover - pid-reuse leftover
+            continue
+        _LIVE_SEGMENTS[name] = segment
+        return segment
+
+
+def _release_segment(segment) -> None:
+    """Close + unlink one tracked segment (idempotent, best-effort)."""
+    _LIVE_SEGMENTS.pop(segment.name, None)
+    try:
+        segment.close()
+        segment.unlink()
+    except OSError:  # pragma: no cover - already gone
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover - platform quirk
+        return True
+    return True
+
+
+def sweep_stale_segments() -> int:
+    """Unlink ``repro_shm_*`` segments whose creating process is dead.
+
+    A hard master crash (SIGKILL, OOM kill) runs neither ``close()`` nor
+    the atexit sweep, leaking its published segments.  Every pool start
+    calls this reaper: any segment named by a no-longer-running pid is
+    debris and is unlinked.  Returns the number of segments reaped.
+    Best-effort and Linux-shaped (``/dev/shm`` listing); hosts without it
+    simply sweep nothing.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return 0
+    own_pid = os.getpid()
+    swept = 0
+    for entry in entries:
+        match = _SEGMENT_NAME.match(entry)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join("/dev/shm", entry))
+            swept += 1
+        except OSError:  # pragma: no cover - raced another sweeper
+            pass
+    return swept
+
 
 class WorkerPoolError(RuntimeError):
-    """The pool lost a worker (or never started); callers must fall back."""
+    """The pool cannot score this round; callers must fall back in-process."""
+
+
+class _Slot:
+    """One supervised worker slot (see the state machine in
+    :mod:`repro.parallel.supervision`)."""
+
+    __slots__ = (
+        "index", "state", "process", "connection", "known", "generation",
+        "incarnation", "respawns_used", "next_respawn_at",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.state = RESPAWNING
+        self.process = None
+        self.connection = None
+        self.known: set[int] = set()
+        self.generation = 0
+        self.incarnation = 0
+        self.respawns_used = 0
+        self.next_respawn_at = 0.0
 
 
 class WorkerPool:
-    """A fleet of persistent worker processes scoring matcher batches.
+    """A supervised fleet of persistent worker processes scoring matcher
+    batches.
 
     Parameters
     ----------
     workers:
-        Number of worker processes (>= 1).
+        Number of worker slots (>= 1); the configured fleet width the
+        supervisor heals back to after transient faults.
     matcher:
         Template for the workers' matcher replicas.  Only its class and
         configuration travel; statistics and metrics bindings stay home.
     min_shard:
         Smallest batch worth sharding (exposed for the engine's gate).
+    supervision:
+        Deadlines, respawn budget and backoff
+        (:class:`~repro.parallel.supervision.SupervisionConfig`); ``None``
+        means environment-resolved defaults.
+    worker_faults:
+        Seeded process-level chaos injected into the workers
+        (:class:`~repro.resilience.faults.WorkerFaultSpec`); ``None`` (the
+        default) injects nothing.
     """
 
     def __init__(
@@ -83,10 +246,14 @@ class WorkerPool:
         matcher: "Matcher",
         *,
         min_shard: int = DEFAULT_MIN_SHARD,
+        supervision: SupervisionConfig | None = None,
+        worker_faults: "WorkerFaultSpec | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.min_shard = min_shard
+        self.supervision = supervision or DEFAULT_SUPERVISION
+        self.worker_faults = worker_faults
         self.broken = False
         #: Wall seconds spent in scatter/gather round-trips (telemetry only).
         self.scatter_wall_s = 0.0
@@ -94,62 +261,103 @@ class WorkerPool:
         #: Shared-memory transfer telemetry (exported as ``parallel.shm_*``).
         self.shm_segments_published = 0
         self.shm_bytes_published = 0
+        #: Supervision telemetry (exported as ``parallel.supervision.*``).
+        self.evictions = 0
+        self.respawns = 0
+        self.reassigned_chunks = 0
+        self.reply_timeouts = 0
+        self.stale_segments_swept = sweep_stale_segments()
         #: Kernel outcome counts of the last fully merged round — the
         #: engine folds these into the master matcher so sharded runs
         #: report the same ``matcher.kernel.*`` counters as serial ones.
         self.last_kernel_counts: dict[str, int] = {}
-        context = multiprocessing.get_context("spawn")
-        self._processes: list = []
-        self._connections: list = []
-        self._known: list[set[int]] = []
+        self._context = multiprocessing.get_context("spawn")
         self._use_shm = False
         self._segments: list = []  # (generation, SharedMemory, payload size)
         self._generation = 0
-        self._worker_generation: list[int] = []
         self._published: set[int] = set()
-        template = (type(matcher), _template_state(matcher))
+        self._template = (type(matcher), _template_state(matcher))
+        self._rescue: "Matcher | None" = None
+        self._respawn_rng = random.Random(self.supervision.respawn_seed)
+        self._closed = False
+        self._slots = [_Slot(index) for index in range(workers)]
         try:
-            for _ in range(workers):
-                parent_end, child_end = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=_worker_entry, args=(child_end,), daemon=True
-                )
-                process.start()
-                child_end.close()
-                parent_end.send(("matcher",) + template)
-                parent_end.send(("ping",))
-                self._processes.append(process)
-                self._connections.append(parent_end)
-                self._known.append(set())
-                self._worker_generation.append(0)
+            for slot in self._slots:
+                self._start_worker(slot)
             # Handshake: a spawn failure (missing interpreter state, dead
             # child) must surface here, not as a silent no-op pool that
             # reports a fleet it does not have.  One deadline covers the
             # whole fleet — the workers spawn concurrently, so their pings
             # arrive concurrently too.
-            self._await_replies(("ok", "pong"), "startup ping")
+            self._await_replies(
+                self._slots, ("ok", "pong"), "startup ping", strict=True
+            )
+            for slot in self._slots:
+                slot.state = ALIVE
             self._use_shm = self._probe_shm()
         except Exception:
             self.close()
             raise
 
-    def _await_replies(self, expected: tuple, what: str) -> bool:
-        """Collect one reply per worker under a single fleet-wide deadline.
+    # ------------------------------------------------------------------
+    # Spawning and handshakes
+    # ------------------------------------------------------------------
+    def _start_worker(self, slot: _Slot) -> None:
+        """Spawn a process into ``slot`` and queue its handshake messages.
 
-        Returns ``True`` when every worker sent ``expected``; any other
-        reply returns ``False`` (the pipes stay in sync — the reply *was*
-        consumed).  A worker that stays silent past the shared deadline
-        raises: its reply can no longer be matched to a request, so the
-        pool is unusable.
+        The caller collects the ping reply (fleet-wide at startup, per
+        slot on respawn) — splitting spawn from handshake is what lets
+        startup overlap all spawns under one deadline.
         """
-        deadline = time.monotonic() + HANDSHAKE_TIMEOUT_S
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_entry, args=(child_end,), daemon=True
+        )
+        process.start()
+        child_end.close()
+        parent_end.send(("matcher",) + self._template)
+        if self.worker_faults is not None and not self.worker_faults.is_noop:
+            parent_end.send(
+                ("faults", self.worker_faults, slot.index, slot.incarnation)
+            )
+        parent_end.send(("ping",))
+        slot.process = process
+        slot.connection = parent_end
+        slot.known = set()
+        slot.generation = 0
+
+    def _await_replies(
+        self, slots: list, expected: tuple, what: str, *, strict: bool = False
+    ) -> bool:
+        """Collect one reply per slot under a single fleet-wide deadline.
+
+        Returns ``True`` when every slot sent ``expected``; any other
+        reply returns ``False`` (the pipes stay in sync — the reply *was*
+        consumed).  A slot that stays silent past the shared deadline
+        raises when ``strict`` (startup: the pool refuses to exist) and
+        returns ``False`` otherwise.
+        """
+        deadline = time.monotonic() + self.supervision.resolved_handshake_timeout()
         all_expected = True
-        for connection in self._connections:
+        for slot in slots:
             remaining = deadline - time.monotonic()
-            if remaining <= 0 or not connection.poll(remaining):
-                raise WorkerPoolError(f"worker did not answer {what} in time")
-            if connection.recv() != expected:
-                all_expected = False
+            try:
+                if remaining <= 0 or not slot.connection.poll(remaining):
+                    raise WorkerPoolError(
+                        f"worker {slot.index} did not answer {what} in time"
+                    )
+                if slot.connection.recv() != expected:
+                    all_expected = False
+            except WorkerPoolError:
+                if strict:
+                    raise
+                return False
+            except (EOFError, OSError) as error:
+                if strict:
+                    raise WorkerPoolError(
+                        f"worker {slot.index} failed {what}: {error!r}"
+                    ) from error
+                return False
         return all_expected
 
     def _probe_shm(self) -> bool:
@@ -161,24 +369,20 @@ class WorkerPool:
         fatal, exactly as in the startup ping.
         """
         try:
-            from multiprocessing import shared_memory
-
-            probe = shared_memory.SharedMemory(
-                create=True, size=len(_SHM_PROBE_PAYLOAD)
-            )
+            probe = _create_segment(len(_SHM_PROBE_PAYLOAD))
         except Exception:
             return False
         try:
             probe.buf[: len(_SHM_PROBE_PAYLOAD)] = _SHM_PROBE_PAYLOAD
-            for connection in self._connections:
-                connection.send(("shm_probe", probe.name, len(_SHM_PROBE_PAYLOAD)))
-            return self._await_replies(("ok", "shm"), "shm probe")
+            for slot in self._slots:
+                slot.connection.send(
+                    ("shm_probe", probe.name, len(_SHM_PROBE_PAYLOAD))
+                )
+            return self._await_replies(
+                self._slots, ("ok", "shm"), "shm probe", strict=True
+            )
         finally:
-            try:
-                probe.close()
-                probe.unlink()
-            except OSError:  # pragma: no cover - platform cleanup quirk
-                pass
+            _release_segment(probe)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -188,6 +392,8 @@ class WorkerPool:
         matcher: "Matcher",
         *,
         min_shard: int = DEFAULT_MIN_SHARD,
+        supervision: SupervisionConfig | None = None,
+        worker_faults: "WorkerFaultSpec | None" = None,
     ) -> "WorkerPool | None":
         """Start a pool, or return ``None`` when the host cannot run one.
 
@@ -198,17 +404,28 @@ class WorkerPool:
         if workers <= 1:
             return None
         try:
-            return cls(workers, matcher, min_shard=min_shard)
+            return cls(
+                workers,
+                matcher,
+                min_shard=min_shard,
+                supervision=supervision,
+                worker_faults=worker_faults,
+            )
         except Exception:
             return None
 
     @property
     def size(self) -> int:
-        return len(self._connections)
+        """The configured fleet width (what the supervisor heals back to)."""
+        return len(self._slots)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for slot in self._slots if slot.state == ALIVE)
 
     @property
     def healthy(self) -> bool:
-        return bool(self._connections) and not self.broken
+        return bool(self._slots) and not self.broken and not self._closed
 
     @property
     def shm_active(self) -> bool:
@@ -216,22 +433,132 @@ class WorkerPool:
         return self._use_shm and self.healthy
 
     # ------------------------------------------------------------------
+    # Supervision: eviction, respawn, healing
+    # ------------------------------------------------------------------
+    def _evict(self, slot: _Slot, reason: str) -> None:
+        """Condemn one slot: kill its process, schedule its respawn.
+
+        Only this worker is condemned — the round it was serving completes
+        through in-process rescue, and the pool only turns ``broken`` when
+        every slot has exhausted its respawn budget.
+        """
+        slot.state = SUSPECT
+        connection, process = slot.connection, slot.process
+        slot.connection = None
+        slot.process = None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if process is not None:
+            try:
+                process.kill()
+            except (OSError, ValueError):  # pragma: no cover - already dead
+                pass
+            process.join(timeout=1.0)
+        self.evictions += 1
+        if slot.respawns_used >= self.supervision.resolved_max_respawns():
+            slot.state = DEAD
+        else:
+            slot.state = EVICTED
+            backoff = self.supervision.respawn_backoff.backoff(
+                slot.respawns_used + 1, self._respawn_rng
+            )
+            slot.next_respawn_at = time.monotonic() + backoff
+        if all(entry.state == DEAD for entry in self._slots):
+            # Terminal pool-level state: the fleet is unrecoverable.
+            self.broken = True
+
+    def _maybe_respawn(self, *, force: bool = False) -> None:
+        """Respawn evicted slots whose backoff deadline has elapsed.
+
+        ``force`` ignores the deadline (used by :meth:`heal`).  A respawned
+        worker handshakes like a fresh one and catches up on shared memory
+        by generation: its slot rewinds to generation 0, so its next
+        scoring message carries every segment published this run.
+        """
+        if self.broken or self._closed:
+            return
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.state != EVICTED or (not force and now < slot.next_respawn_at):
+                continue
+            slot.state = RESPAWNING
+            slot.respawns_used += 1
+            slot.incarnation += 1
+            try:
+                self._start_worker(slot)
+                handshaken = self._await_replies(
+                    [slot], ("ok", "pong"), "respawn ping"
+                )
+                if handshaken and self._use_shm:
+                    handshaken = self._probe_shm_one(slot)
+            except Exception:
+                handshaken = False
+            if handshaken:
+                slot.state = ALIVE
+                self.respawns += 1
+            else:
+                self._evict(slot, "respawn handshake failed")
+
+    def _probe_shm_one(self, slot: _Slot) -> bool:
+        """The startup shm probe, replayed for one respawned worker."""
+        try:
+            probe = _create_segment(len(_SHM_PROBE_PAYLOAD))
+        except Exception:  # pragma: no cover - shm vanished mid-run
+            return False
+        try:
+            probe.buf[: len(_SHM_PROBE_PAYLOAD)] = _SHM_PROBE_PAYLOAD
+            slot.connection.send(("shm_probe", probe.name, len(_SHM_PROBE_PAYLOAD)))
+            return self._await_replies([slot], ("ok", "shm"), "respawn shm probe")
+        except (BrokenPipeError, OSError):
+            return False
+        finally:
+            _release_segment(probe)
+
+    def heal(self, timeout_s: float = 10.0) -> int:
+        """Wait (bounded) for the fleet to return to full configured width.
+
+        Respawns every evicted slot, honoring backoff order but not making
+        the caller wait for deadlines beyond ``timeout_s``.  Returns the
+        number of alive workers afterwards.  Useful for tests, benchmarks,
+        and service callers that want the fleet whole before a burst.
+        """
+        deadline = time.monotonic() + timeout_s
+        while self.healthy:
+            if not any(slot.state == EVICTED for slot in self._slots):
+                break
+            self._maybe_respawn(force=time.monotonic() + 0.05 >= deadline)
+            if self.alive_count == self.size or time.monotonic() >= deadline:
+                break
+            time.sleep(min(0.02, max(0.0, deadline - time.monotonic())))
+        return self.alive_count
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
     def begin_run(self) -> None:
         """Reset every worker's profile cache (start of an engine run).
 
         Profile ids are only unique *within* a dataset, so caches must not
         survive across runs that may target different data.  The reset is a
         one-way message; the pipe's FIFO ordering makes an ack unnecessary.
+        A slot whose pipe fails here is evicted alone (and respawned on
+        schedule); the fleet is not condemned.
         """
         if not self.healthy:
             return
-        try:
-            for connection in self._connections:
-                connection.send(("reset",))
-        except (BrokenPipeError, OSError):
-            self._mark_broken()
-        for known in self._known:
-            known.clear()
+        self._maybe_respawn()
+        for slot in self._slots:
+            if slot.state != ALIVE:
+                continue
+            try:
+                slot.connection.send(("reset",))
+            except (BrokenPipeError, OSError):
+                self._evict(slot, "reset send failed")
+                continue
+            slot.known.clear()
         self._release_segments()
 
     def _release_segments(self) -> None:
@@ -241,147 +568,240 @@ class WorkerPool:
         mid-attach when this runs.
         """
         for _generation, segment, _size in self._segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except OSError:  # pragma: no cover - already gone
-                pass
+            _release_segment(segment)
         self._segments = []
         self._generation = 0
-        self._worker_generation = [0] * len(self._connections)
         self._published.clear()
+        for slot in self._slots:
+            slot.generation = 0
 
     def _publish_profiles(self, fresh: list) -> None:
         """Pickle ``fresh`` profiles into one new read-only shm segment.
 
         The segment is versioned by a monotonically increasing generation;
         each worker is told, per scoring message, about exactly the
-        segments it has not consumed yet.
+        segments it has not consumed yet — which is also how a respawned
+        worker (rewound to generation 0) catches up on the whole run.
         """
-        from multiprocessing import shared_memory
-
         payload = pickle.dumps(fresh, protocol=pickle.HIGHEST_PROTOCOL)
-        segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        segment = _create_segment(max(1, len(payload)))
         segment.buf[: len(payload)] = payload
         self._generation += 1
         self._segments.append((self._generation, segment, len(payload)))
         self.shm_segments_published += 1
         self.shm_bytes_published += len(payload)
 
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
     def batch_scores(
         self, pairs: Sequence[tuple["EntityProfile", "EntityProfile"]]
     ) -> tuple[list[float], list[float]]:
         """Score ``pairs`` across the fleet; merge by submission index.
 
-        The batch is split into at most ``size`` contiguous chunks (first
-        chunks get the remainder, mirroring ``split_into_increments``), each
-        worker scores one chunk concurrently, and the per-chunk
-        ``(similarities, costs)`` lists are concatenated in chunk order —
-        the exact element order of a single in-process call.
+        The batch is split into contiguous chunks across the *alive*
+        workers (first chunks get the remainder, mirroring
+        ``split_into_increments``), each worker scores one chunk
+        concurrently, and the per-chunk ``(similarities, costs)`` lists are
+        concatenated in chunk order — the exact element order of a single
+        in-process call.
 
-        Raises :class:`WorkerPoolError` on any transport failure or worker
-        death; the pool is then marked broken and the caller falls back.
+        Supervision happens around the scatter: a worker that dies, hangs
+        past the fleet-wide reply deadline, or replies garbage is evicted
+        and its chunk re-scored in-process, so the round's merged result is
+        bit-identical no matter which workers failed.  Raises
+        :class:`WorkerPoolError` only when no worker is currently alive
+        (respawn may still heal the fleet for later rounds) or the pool is
+        terminally broken; the caller falls back in-process either way.
         """
         if not self.healthy:
             raise WorkerPoolError("worker pool is not available")
+        self._maybe_respawn()
+        alive = [slot for slot in self._slots if slot.state == ALIVE]
+        if not alive:
+            raise WorkerPoolError("no alive workers this round")
         started = time.perf_counter()
-        chunks = _split_chunks(len(pairs), self.size)
-        active: list[int] = []
-        cursor = 0
-        try:
-            if self._use_shm:
-                # Publish each profile once for the whole fleet: one
-                # segment per round holding every not-yet-shipped profile.
-                published = self._published
-                fresh = []
-                for profile_x, profile_y in pairs:
-                    if profile_x.pid not in published:
-                        published.add(profile_x.pid)
-                        fresh.append(profile_x)
-                    if profile_y.pid not in published:
-                        published.add(profile_y.pid)
-                        fresh.append(profile_y)
-                if fresh:
+        if self._use_shm:
+            # Publish each profile once for the whole fleet: one segment
+            # per round holding every not-yet-shipped profile.
+            published = self._published
+            fresh = []
+            for profile_x, profile_y in pairs:
+                if profile_x.pid not in published:
+                    published.add(profile_x.pid)
+                    fresh.append(profile_x)
+                if profile_y.pid not in published:
+                    published.add(profile_y.pid)
+                    fresh.append(profile_y)
+            if fresh:
+                try:
                     self._publish_profiles(fresh)
-            for worker_index, chunk_size in enumerate(chunks):
-                if chunk_size == 0:
-                    continue
-                chunk = pairs[cursor : cursor + chunk_size]
-                cursor += chunk_size
-                pid_pairs = [
-                    (profile_x.pid, profile_y.pid) for profile_x, profile_y in chunk
-                ]
-                if self._use_shm:
-                    consumed = self._worker_generation[worker_index]
-                    segments = [
-                        (segment.name, size)
-                        for generation, segment, size in self._segments
-                        if generation > consumed
-                    ]
-                    self._connections[worker_index].send(
-                        ("shm_scores", segments, pid_pairs)
-                    )
-                    self._worker_generation[worker_index] = self._generation
-                else:
-                    known = self._known[worker_index]
-                    fresh = []
-                    for profile_x, profile_y in chunk:
-                        if profile_x.pid not in known:
-                            known.add(profile_x.pid)
-                            fresh.append(profile_x)
-                        if profile_y.pid not in known:
-                            known.add(profile_y.pid)
-                            fresh.append(profile_y)
-                    self._connections[worker_index].send(("scores", fresh, pid_pairs))
-                active.append(worker_index)
-            similarities: list[float] = []
-            costs: list[float] = []
-            kernel_counts: dict[str, int] = {}
-            for worker_index in active:
-                status, payload = self._connections[worker_index].recv()
-                if status != "ok":
-                    raise WorkerPoolError(f"worker {worker_index} failed: {payload}")
-                chunk_similarities, chunk_costs, chunk_counts = payload
-                similarities.extend(chunk_similarities)
-                costs.extend(chunk_costs)
-                for name, value in chunk_counts.items():
-                    kernel_counts[name] = kernel_counts.get(name, 0) + value
-        except WorkerPoolError:
-            self._mark_broken()
-            raise
-        except (BrokenPipeError, EOFError, OSError) as error:
-            self._mark_broken()
-            raise WorkerPoolError(f"worker pool transport failed: {error!r}") from error
+                except OSError:
+                    # shm vanished mid-run (host pressure): degrade to the
+                    # pickle transport for the rest of the pool's life.
+                    # Worker caches are keyed by pid, so inline re-shipping
+                    # of already-published profiles is merely redundant.
+                    self._use_shm = False
+                    self._release_segments()
+
+        # Scatter: one contiguous chunk per alive worker.
+        chunks = _split_chunks(len(pairs), len(alive))
+        scattered: list[tuple[int, _Slot, Sequence]] = []
+        rescued: list[tuple[int, Sequence]] = []
+        cursor = 0
+        position = 0
+        for slot, chunk_size in zip(alive, chunks):
+            if chunk_size == 0:
+                continue
+            chunk = pairs[cursor : cursor + chunk_size]
+            cursor += chunk_size
+            if self._send_chunk(slot, chunk):
+                scattered.append((position, slot, chunk))
+            else:
+                rescued.append((position, chunk))
+            position += 1
+
+        # Gather under one fleet-wide reply deadline (mirroring the
+        # handshake deadline): a hung worker is detected, not waited on.
+        results: dict[int, tuple] = {}
+        reply_timeout = self.supervision.resolved_reply_timeout()
+        deadline = (
+            time.monotonic() + reply_timeout if reply_timeout is not None else None
+        )
+        for position_, slot, chunk in scattered:
+            payload = self._receive_chunk(slot, len(chunk), deadline)
+            if payload is None:
+                rescued.append((position_, chunk))
+            else:
+                results[position_] = payload
+
+        # Rescue: a condemned worker's chunk is re-scored in-process by the
+        # pool's own matcher replica — same kernel, same outcome counts,
+        # bit-identical scores at the chunk's original merge position.
+        for position_, chunk in rescued:
+            results[position_] = self._score_in_process(chunk)
+            self.reassigned_chunks += 1
+
+        similarities: list[float] = []
+        costs: list[float] = []
+        kernel_counts: dict[str, int] = {}
+        for position_ in sorted(results):
+            chunk_similarities, chunk_costs, chunk_counts = results[position_]
+            similarities.extend(chunk_similarities)
+            costs.extend(chunk_costs)
+            for name, value in chunk_counts.items():
+                kernel_counts[name] = kernel_counts.get(name, 0) + value
         self.scatter_wall_s += time.perf_counter() - started
-        self.chunks_shipped += len(active)
+        self.chunks_shipped += len(scattered)
         self.last_kernel_counts = kernel_counts
         return similarities, costs
+
+    def _send_chunk(self, slot: _Slot, chunk: Sequence) -> bool:
+        """Ship one chunk to one worker; evict the slot on pipe failure."""
+        pid_pairs = [
+            (profile_x.pid, profile_y.pid) for profile_x, profile_y in chunk
+        ]
+        try:
+            if self._use_shm:
+                segments = [
+                    (segment.name, size)
+                    for generation, segment, size in self._segments
+                    if generation > slot.generation
+                ]
+                slot.connection.send(("shm_scores", segments, pid_pairs))
+                slot.generation = self._generation
+            else:
+                known = slot.known
+                fresh = []
+                for profile_x, profile_y in chunk:
+                    if profile_x.pid not in known:
+                        known.add(profile_x.pid)
+                        fresh.append(profile_x)
+                    if profile_y.pid not in known:
+                        known.add(profile_y.pid)
+                        fresh.append(profile_y)
+                slot.connection.send(("scores", fresh, pid_pairs))
+        except (BrokenPipeError, OSError):
+            self._evict(slot, "scatter send failed")
+            return False
+        return True
+
+    def _receive_chunk(
+        self, slot: _Slot, expected_pairs: int, deadline: float | None
+    ) -> tuple | None:
+        """Collect one scoring reply; evict the slot on timeout/death/garble.
+
+        Returns the validated ``(similarities, costs, kernel_counts)``
+        payload, or ``None`` after evicting the slot — the caller rescues
+        the chunk in-process either way.
+        """
+        try:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not slot.connection.poll(remaining):
+                    self.reply_timeouts += 1
+                    self._evict(slot, "reply deadline exceeded")
+                    return None
+            reply = slot.connection.recv()
+        except (EOFError, OSError):
+            self._evict(slot, "worker died mid-round")
+            return None
+        payload = _validate_reply(reply, expected_pairs)
+        if payload is None:
+            self._evict(slot, f"garbled reply: {reply!r:.120}")
+            return None
+        return payload
+
+    def _score_in_process(self, chunk: Sequence) -> tuple:
+        """Re-score a condemned worker's chunk with the pool's own replica.
+
+        The replica is rebuilt from the same template the workers receive,
+        so scores and staged-kernel outcome counts are bit-identical to
+        what the lost worker would have returned.
+        """
+        if self._rescue is None:
+            from repro.parallel.worker import rebuild_matcher
+
+            template_cls, template_state = self._template
+            self._rescue = rebuild_matcher(
+                template_cls, pickle.loads(pickle.dumps(template_state))
+            )
+        matcher = self._rescue
+        counts = matcher.kernel_counts
+        for key in counts:
+            counts[key] = 0
+        similarities, costs = matcher._batch_scores(list(chunk))
+        return similarities, costs, dict(counts)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop and join every worker (idempotent, best-effort)."""
+        self._closed = True
         self._release_segments()
-        for connection in self._connections:
+        for slot in self._slots:
+            if slot.connection is None:
+                continue
             try:
-                connection.send(("stop",))
+                slot.connection.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        for connection in self._connections:
-            try:
-                connection.close()
-            except OSError:
-                pass
-        for process in self._processes:
+        for slot in self._slots:
+            if slot.connection is not None:
+                try:
+                    slot.connection.close()
+                except OSError:
+                    pass
+                slot.connection = None
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
             process.join(timeout=2.0)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=1.0)
-        self._connections = []
-        self._processes = []
-        self._known = []
-
-    def _mark_broken(self) -> None:
-        self.broken = True
+            slot.process = None
+            slot.state = DEAD
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -394,6 +814,28 @@ class WorkerPool:
             self.close()
         except Exception:
             pass
+
+
+def _validate_reply(reply: object, expected_pairs: int) -> tuple | None:
+    """The shape a healthy scoring reply must have; ``None`` otherwise.
+
+    A truncated or corrupt payload must never merge: chunk results are
+    concatenated positionally, so a short similarity list would silently
+    misalign every later pair.  Anything but exact shape is garbage.
+    """
+    if not (isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "ok"):
+        return None
+    payload = reply[1]
+    if not (isinstance(payload, tuple) and len(payload) == 3):
+        return None
+    similarities, costs, kernel_counts = payload
+    if not (isinstance(similarities, list) and isinstance(costs, list)):
+        return None
+    if len(similarities) != expected_pairs or len(costs) != expected_pairs:
+        return None
+    if not isinstance(kernel_counts, dict):
+        return None
+    return payload
 
 
 def _worker_entry(connection) -> None:  # pragma: no cover - runs in child

@@ -19,6 +19,13 @@ virtual clock, matcher statistics, metrics, the
 :class:`~repro.execution.store.ComparisonStore` — stays with the master,
 which is what keeps a sharded run bit-identical to the serial path.
 
+For chaos testing, a worker can carry a
+:class:`~repro.resilience.faults.WorkerFaultSpec`: a seeded schedule under
+which scoring requests SIGKILL the process mid-round, stall past the
+master's reply deadline, or return truncated payloads.  The master's
+supervision layer (:mod:`repro.parallel.pool`) must absorb all three
+without changing results.
+
 The module is deliberately import-light and free of module-level state so
 it is safe under the ``spawn`` start method (each worker re-imports it in a
 fresh interpreter).
@@ -26,7 +33,10 @@ fresh interpreter).
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
+import time
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -94,6 +104,11 @@ def worker_main(connection: "Connection") -> None:
     ``("matcher", cls, state)``
         Install the matcher replica.  Also clears the profile cache — a new
         template implies a new session.
+    ``("faults", spec, slot, incarnation)``
+        Install a :class:`~repro.resilience.faults.WorkerFaultSpec`: every
+        subsequent scoring request first consults the seeded fault schedule
+        and may SIGKILL the process, stall ``spec.hang_s`` wall seconds, or
+        truncate the reply payload.
     ``("reset",)``
         Clear the profile cache (sent at the start of every run, so stale
         pid-to-profile bindings can never leak across datasets).
@@ -120,6 +135,11 @@ def worker_main(connection: "Connection") -> None:
     """
     matcher: "Matcher | None" = None
     profiles: dict = {}
+    fault_spec = None
+    fault_rng = None
+    fault_slot = 0
+    fault_incarnation = 0
+    request_ordinal = 0
 
     def score(pid_pairs) -> tuple:
         pairs = [(profiles[pid_x], profiles[pid_y]) for pid_x, pid_y in pid_pairs]
@@ -129,6 +149,28 @@ def worker_main(connection: "Connection") -> None:
         similarities, costs = matcher._batch_scores(pairs)
         return similarities, costs, dict(counts)
 
+    def fault_action() -> str | None:
+        """One seeded draw per scoring request (see WorkerFaultSpec)."""
+        nonlocal request_ordinal
+        request_ordinal += 1
+        if fault_spec is None:
+            return None
+        return fault_spec.action(
+            fault_slot, fault_incarnation, request_ordinal, fault_rng
+        )
+
+    def perturbed(reply: tuple, action: str | None) -> tuple:
+        """Apply a non-lethal fault to an outgoing scoring reply."""
+        if action == "hang":
+            # Stall past the master's reply deadline; the (healthy) reply
+            # below then lands on a pipe the master has already closed.
+            time.sleep(fault_spec.hang_s)
+            return reply
+        if action == "corrupt" and reply[0] == "ok":
+            similarities, costs, counts = reply[1]
+            return ("ok", (similarities[: len(similarities) // 2], costs, counts))
+        return reply
+
     while True:
         try:
             message = connection.recv()
@@ -136,6 +178,9 @@ def worker_main(connection: "Connection") -> None:
             break
         kind = message[0]
         if kind == "scores":
+            action = fault_action()
+            if action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
             for profile in message[1]:
                 profiles[profile.pid] = profile
             try:
@@ -143,10 +188,13 @@ def worker_main(connection: "Connection") -> None:
             except Exception as error:  # propagate, let the master degrade
                 reply = ("error", repr(error))
             try:
-                connection.send(reply)
+                connection.send(perturbed(reply, action))
             except (BrokenPipeError, OSError):
                 break
         elif kind == "shm_scores":
+            action = fault_action()
+            if action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
             try:
                 for name, size in message[1]:
                     for profile in pickle.loads(_read_segment(name, size)):
@@ -155,7 +203,7 @@ def worker_main(connection: "Connection") -> None:
             except Exception as error:  # propagate, let the master degrade
                 reply = ("error", repr(error))
             try:
-                connection.send(reply)
+                connection.send(perturbed(reply, action))
             except (BrokenPipeError, OSError):
                 break
         elif kind == "shm_probe":
@@ -174,6 +222,10 @@ def worker_main(connection: "Connection") -> None:
         elif kind == "matcher":
             matcher = rebuild_matcher(message[1], message[2])
             profiles.clear()
+        elif kind == "faults":
+            fault_spec, fault_slot, fault_incarnation = message[1], message[2], message[3]
+            fault_rng = fault_spec.rng_for(fault_slot, fault_incarnation)
+            request_ordinal = 0
         elif kind == "reset":
             profiles.clear()
         elif kind == "ping":

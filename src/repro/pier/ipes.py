@@ -14,7 +14,9 @@ Insertion applies the paper's double pruning: a comparison that does not
 improve either endpoint's best, is only stored (a) with the endpoint owning
 the smaller queue, and (b) if its weight beats both the global average
 weight and that endpoint's per-entity average — otherwise it is demoted to
-``PQ`` (global-average failures) or kept out of the entity structures.
+the bounded ``PQ``, keeping it out of the entity structures while never
+losing it outright (refills offer each comparison once, so a hard drop
+would shrink I-PES's comparison universe below the other strategies').
 This bounds memory and sheds superfluous comparisons, making I-PES far less
 sensitive to a poorly suited weighting scheme than I-PCS.
 """
@@ -139,9 +141,18 @@ class IPES(IncrPrioritization):
         return "overflow"
 
     def _insert_if_above_entity_average(self, weighted: WeightedComparison, owner: int) -> str:
-        """The ``insert()`` function: admit only above the entity average."""
+        """The ``insert()`` function: admit only above the entity average.
+
+        A comparison below the owner's average is pruned *from the entity
+        structures*, not lost: it falls through to the bounded overflow
+        queue.  Dropping it outright would break the cross-strategy
+        agreement contract — refills drain each block once, so a dropped
+        comparison would never be offered again and I-PES would execute a
+        strictly smaller comparison universe than I-PCS/I-PBS.
+        """
         total, count = self._entity_totals.get(owner, (0.0, 0))
         if count and weighted.weight <= total / count:
+            self.overflow.enqueue(weighted.pair, weighted.weight)
             return "pruned"
         self._entity_enqueue(owner, weighted)
         return "balanced"

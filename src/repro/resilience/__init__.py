@@ -32,6 +32,7 @@ from repro.resilience.faults import (
     FaultSpec,
     FaultyMatcher,
     TransientMatcherError,
+    WorkerFaultSpec,
     apply_faults,
 )
 from repro.resilience.retry import DEFAULT_RESILIENCE, ResilienceConfig, RetryPolicy
@@ -46,6 +47,7 @@ __all__ = [
     "RetryPolicy",
     "SimulatedCrash",
     "TransientMatcherError",
+    "WorkerFaultSpec",
     "apply_faults",
     "plan_token",
 ]
