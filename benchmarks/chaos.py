@@ -62,6 +62,9 @@ CONFIG = {
     "seed": 0,
     "fault_seed": 7,
     "systems": ["I-PCS", "I-PBS", "I-PES"],
+    # Candidate-generation substrate; chaos pins token blocking (the LSH
+    # tier is exercised and gated in benchmarks.perf).
+    "blocking": "token",
     # max_attempts=2 (not the default 3) so retry exhaustion — and with it
     # the quarantine path — actually triggers at the injected failure rate.
     "resilience": {
@@ -264,6 +267,7 @@ def build_snapshot() -> dict:
         seed=CONFIG["seed"],
         faults=FaultSpec.chaos(CONFIG["fault_seed"]),
         resilience=resilience,
+        engine=EngineOptions(blocking=CONFIG["blocking"]),
     ) as session:
         results = session.compare()
         report = session.fault_reports[0]

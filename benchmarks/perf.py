@@ -41,6 +41,16 @@ execution core and gates against regressions:
   ``parallel.shm_segments``/``parallel.shm_bytes`` are recorded and the
   benchmark fails if rounds were sharded with zero segments published.
 
+* **blocking substrate** — one full progressive run per substrate
+  (token / lsh / lsh-prefilter) through :class:`repro.api.ERSession`.
+  Both LSH substrates must cut the executed candidate volume by at least
+  ``MIN_LSH_CANDIDATE_CUT``× versus token blocking while losing at most
+  ``MAX_LSH_PC_LOSS`` pair completeness at the final budget, the
+  ``blocking.lsh.*`` telemetry must show real work (signatures, buckets,
+  and — for the prefilter — pruned candidates), and a repeated LSH run
+  must be bit-identical down to the checkpoint fingerprint (the
+  determinism that crash-resume restores rely on).
+
 Unlike the smoke/chaos baselines, every recorded value here is wall-clock
 (host-dependent), so the checked-in ``BENCH_perf.json`` is refreshed only
 with ``--update``; a plain run gates on the *structure* of the payload
@@ -73,7 +83,7 @@ from repro.priority.bounded_pq import BoundedPriorityQueue
 
 from benchmarks.smoke import diff_schema
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 DEFAULT_BASELINE = Path(__file__).parent / "BENCH_perf.json"
 
 CONFIG = {
@@ -100,6 +110,22 @@ CONFIG = {
         "workers": 4,
         "repeats": 3,
     },
+    "blocking": {
+        "dataset": "dblp_acm",
+        "scale": 0.3,
+        "system": "I-PCS",
+        "matcher": "JS",
+        "n_increments": 10,
+        "rate": 5.0,
+        "budget": 60.0,
+        # The cheap JS matcher exhausts these streams after ~2 virtual
+        # seconds, so checkpoints must tick faster than that for the
+        # fingerprint identity check to see real mid-run state.
+        "checkpoint_every": 0.5,
+        "lsh_bands": 16,
+        "lsh_rows": 2,
+        "lsh_seed": 0,
+    },
 }
 
 #: The batched JS kernel must amortize at least this much per-pair dispatch.
@@ -117,6 +143,14 @@ MIN_ED_SPEEDUP = 3.0
 #: much — enforced only on hosts with enough cores to make it possible.
 MIN_PARALLEL_SPEEDUP = 2.0
 PARALLEL_GATE_MIN_CORES = 4
+
+#: Each LSH substrate must execute at most 1/this of token blocking's
+#: candidate comparisons at the same budget...
+MIN_LSH_CANDIDATE_CUT = 2.0
+
+#: ...while giving up no more than this much pair completeness (absolute,
+#: at the final budget) versus token blocking.
+MAX_LSH_PC_LOSS = 0.02
 
 
 class _DictBackedQueue:
@@ -440,6 +474,89 @@ def _bench_parallel() -> dict:
     }
 
 
+def _blocking_session(knobs: dict, substrate: str) -> ERSession:
+    return ERSession(
+        knobs["dataset"],
+        systems=(knobs["system"],),
+        matcher=knobs["matcher"],
+        engine=EngineOptions(
+            blocking=substrate,
+            lsh_bands=knobs["lsh_bands"],
+            lsh_rows=knobs["lsh_rows"],
+            lsh_seed=knobs["lsh_seed"],
+        ),
+        scale=knobs["scale"],
+        n_increments=knobs["n_increments"],
+        rate=knobs["rate"],
+        budget=knobs["budget"],
+        checkpoint_every=knobs["checkpoint_every"],
+    )
+
+
+def _bench_blocking() -> dict:
+    """One progressive run per substrate: candidate volume vs recall.
+
+    Unlike every other section, the LSH substrates deliberately change
+    *what* is computed, so the gate is a quality trade: the candidate cut
+    must be worth it (``MIN_LSH_CANDIDATE_CUT``) and the recall cost must
+    be negligible (``MAX_LSH_PC_LOSS``).  Determinism is re-verified by
+    re-running the ``lsh`` cell and demanding a bit-identical observable
+    and checkpoint fingerprint — the property checkpoint restores build on.
+    """
+    knobs = CONFIG["blocking"]
+    truth = load_dataset(knobs["dataset"], scale=knobs["scale"]).ground_truth
+    per_substrate = {}
+    observables = {}
+    fingerprints = {}
+    for substrate in ("token", "lsh", "lsh-prefilter"):
+        with _blocking_session(knobs, substrate) as session:
+            start = time.perf_counter()
+            observable, fingerprint, counters = _run_observable(session)
+            wall_s = time.perf_counter() - start
+        observables[substrate] = observable
+        fingerprints[substrate] = fingerprint
+        per_substrate[substrate] = {
+            "comparisons": observable["comparisons_executed"],
+            "pair_completeness": round(
+                truth.pair_completeness(observable["duplicates"]), 6
+            ),
+            "weighting_ops": int(counters.get("strategy.weighting_ops", 0)),
+            "lsh_signatures": int(counters.get("blocking.lsh.signatures", 0)),
+            "lsh_buckets": int(counters.get("blocking.lsh.buckets", 0)),
+            "lsh_candidates_pruned": int(
+                counters.get("blocking.lsh.candidates_pruned", 0)
+            ),
+            "wall_s": round(wall_s, 6),
+        }
+
+    with _blocking_session(knobs, "lsh") as session:
+        repeat_observable, repeat_fingerprint, _ = _run_observable(session)
+    deterministic = (
+        repeat_observable == observables["lsh"]
+        and repeat_fingerprint == fingerprints["lsh"]
+    )
+    if not deterministic:
+        raise AssertionError(
+            "blocking: repeated lsh run diverged from the first "
+            "(curve/duplicates/metrics/checkpoint fingerprint)"
+        )
+
+    token = per_substrate["token"]
+    for substrate in ("lsh", "lsh-prefilter"):
+        entry = per_substrate[substrate]
+        entry["candidate_cut"] = round(
+            token["comparisons"] / max(entry["comparisons"], 1), 3
+        )
+        entry["pc_loss"] = round(
+            token["pair_completeness"] - entry["pair_completeness"], 6
+        )
+    return {
+        "truth_pairs": len(truth),
+        "substrates": per_substrate,
+        "lsh_deterministic": True,
+    }
+
+
 def build_snapshot() -> dict:
     dataset = load_dataset(CONFIG["dataset"], scale=CONFIG["scale"])
     pairs = _sample_pairs(dataset, CONFIG["n_pairs"], CONFIG["sample_seed"])
@@ -454,6 +571,7 @@ def build_snapshot() -> dict:
         "slots": _bench_slots(),
         "prioritization": _bench_prioritization(dataset, CONFIG["repeats"]),
         "parallel": _bench_parallel(),
+        "blocking": _bench_blocking(),
     }
 
 
@@ -516,6 +634,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{parallel['shm_bytes']} B, gate {gate_note})"
     )
 
+    blocking = payload["blocking"]
+    for substrate, entry in blocking["substrates"].items():
+        extra = ""
+        if substrate != "token":
+            extra = (
+                f" cut={entry['candidate_cut']:.1f}x "
+                f"pc_loss={entry['pc_loss']:+.4f}"
+            )
+        print(
+            f"blocking[{substrate}]: comparisons={entry['comparisons']} "
+            f"pc={entry['pair_completeness']:.4f} "
+            f"weighting_ops={entry['weighting_ops']}{extra}"
+        )
+
     failures = []
     js_speedup = payload["batched_matching"]["JS"]["speedup"]
     if js_speedup < MIN_JS_SPEEDUP:
@@ -553,6 +685,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         failures.append(
             f"parallel speedup {parallel['speedup']:.2f}x below the "
             f"{MIN_PARALLEL_SPEEDUP}x gate on a {parallel['cores_detected']}-core host"
+        )
+    if not blocking["lsh_deterministic"]:
+        failures.append("blocking: repeated lsh run was not bit-identical")
+    for substrate in ("lsh", "lsh-prefilter"):
+        entry = blocking["substrates"][substrate]
+        if entry["candidate_cut"] < MIN_LSH_CANDIDATE_CUT:
+            failures.append(
+                f"blocking[{substrate}]: candidate cut "
+                f"{entry['candidate_cut']:.2f}x below the "
+                f"{MIN_LSH_CANDIDATE_CUT}x gate"
+            )
+        if entry["pc_loss"] > MAX_LSH_PC_LOSS:
+            failures.append(
+                f"blocking[{substrate}]: pair-completeness loss "
+                f"{entry['pc_loss']:.4f} above the {MAX_LSH_PC_LOSS} gate"
+            )
+        if entry["lsh_signatures"] == 0 or entry["lsh_buckets"] == 0:
+            failures.append(
+                f"blocking[{substrate}]: blocking.lsh.* telemetry shows no "
+                f"work (signatures={entry['lsh_signatures']}, "
+                f"buckets={entry['lsh_buckets']})"
+            )
+    if blocking["substrates"]["lsh-prefilter"]["lsh_candidates_pruned"] == 0:
+        failures.append(
+            "blocking[lsh-prefilter]: the co-bucket filter never pruned a "
+            "candidate (blocking.lsh.candidates_pruned == 0)"
         )
 
     if args.out.exists() and not args.update:

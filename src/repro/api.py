@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.blocking.substrate import BlockingConfig
 from repro.core.dataset import Dataset, GroundTruth
 from repro.core.increments import StreamPlan, make_stream_plan, split_into_increments
 from repro.datasets.registry import load_dataset
@@ -62,12 +63,20 @@ __all__ = ["EngineOptions", "ERSession", "run_cell"]
 
 @dataclass(frozen=True, slots=True)
 class EngineOptions:
-    """How the engine executes — never *what* it computes.
+    """How the engine executes — and, for one knob group, what it computes.
 
-    Every field preserves bit-identical results; these are the CLI escape
-    hatches (``--pipelined``, ``--scalar-matching``, ``--per-pair-weighting``,
-    ``--workers``, ``--ed-kernel``) as one first-class, picklable value that
-    :class:`ExperimentConfig` can finally carry.
+    The execution fields preserve bit-identical results; they are the CLI
+    escape hatches (``--pipelined``, ``--scalar-matching``,
+    ``--per-pair-weighting``, ``--workers``, ``--ed-kernel``, the
+    supervision timeouts) as one first-class, picklable value that
+    :class:`ExperimentConfig` can carry.
+
+    The **blocking substrate** group (``blocking`` / ``lsh_bands`` /
+    ``lsh_rows`` / ``lsh_seed``; the CLI's ``--blocking`` / ``--lsh-*``) is
+    the deliberate exception: choosing ``lsh`` or ``lsh-prefilter``
+    changes which candidate comparisons are generated — it trades recall
+    for candidate volume, which is the point.  The default ``token``
+    substrate is bit-identical to every run that predates the knob.
     """
 
     pipelined: bool = False
@@ -90,6 +99,19 @@ class EngineOptions:
     #: bit-identical either way; chaos tests/benchmarks drop it to 1 so
     #: even tiny rounds exercise the workers.
     min_shard: int | None = None
+    #: Blocking substrate: ``"token"`` (the paper's configuration, default),
+    #: ``"lsh"`` (MinHash-LSH buckets as blocks) or ``"lsh-prefilter"``
+    #: (token blocks + LSH co-bucket candidate pruning).  See
+    #: :mod:`repro.blocking.substrate`.
+    blocking: str = "token"
+    #: MinHash-LSH shape: ``lsh_bands`` × ``lsh_rows`` permutations; the
+    #: candidate threshold is ≈ ``(1/bands) ** (1/rows)``.  Ignored on the
+    #: token substrate.
+    lsh_bands: int = 16
+    lsh_rows: int = 2
+    #: Seed of the MinHash permutation family (deterministic across hosts
+    #: and hash seeds for any fixed value).
+    lsh_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -104,6 +126,17 @@ class EngineOptions:
             raise ValueError("handshake_timeout_s must be positive (or None)")
         if self.max_respawns is not None and self.max_respawns < 0:
             raise ValueError("max_respawns must be >= 0 (or None)")
+        # Delegates substrate/band/row validation (raises on bad values).
+        self.blocking_config()
+
+    def blocking_config(self) -> BlockingConfig:
+        """These options as a blocking-substrate configuration."""
+        return BlockingConfig(
+            substrate=self.blocking,
+            lsh_bands=self.lsh_bands,
+            lsh_rows=self.lsh_rows,
+            lsh_seed=self.lsh_seed,
+        )
 
     def supervision(self) -> "SupervisionConfig":
         """These options as a pool-side supervision configuration."""
@@ -263,6 +296,7 @@ class ERSession:
             system_name,
             self.dataset,
             per_pair_weighting=self.engine_options.per_pair_weighting,
+            blocking=self.engine_options.blocking_config(),
         )
 
     def build_engine(self, matcher: Matcher) -> StreamingEngine:

@@ -7,6 +7,13 @@ only ever *added*, as increments arrive) and maintains both the token →
 profiles mapping and its inverse (profile → blocks), which the weighting
 schemes and the single-sweep weighting kernel
 (:mod:`repro.metablocking.sweep`) read on every comparison.
+
+:class:`BlockCollection` is also the reference implementation of the
+:class:`~repro.blocking.substrate.BlockingSubstrate` protocol: alternative
+substrates (the MinHash-LSH tier in :mod:`repro.blocking.lsh`) subclass it
+and override :meth:`BlockCollection.profile_keys` — the single hook that
+decides which blocking keys a profile lands in — inheriting the purge,
+intern, cache-invalidation and snapshot semantics unchanged.
 """
 
 from __future__ import annotations
@@ -112,6 +119,11 @@ class BlockCollection:
         ``None`` disables purging.
     """
 
+    #: Whether :meth:`allows_pair` can ever prune — ``False`` here, so hot
+    #: paths skip the per-pair call entirely on the token substrate.  The
+    #: LSH prefilter substrate overrides this.
+    prunes_candidates = False
+
     __slots__ = (
         "clean_clean",
         "max_block_size",
@@ -153,7 +165,7 @@ class BlockCollection:
         if profile.pid in self._blocks_of:
             raise ValueError(f"profile {profile.pid} already indexed")
         keys: set[str] = set()
-        for token in profile.tokens():
+        for token in self.profile_keys(profile):
             if token in self._purged_keys:
                 continue
             block = self._blocks.get(token)
@@ -173,6 +185,16 @@ class BlockCollection:
         self._blocks_of[profile.pid] = keys
         self._profile_blocks.pop(profile.pid, None)
         return keys
+
+    def profile_keys(self, profile: EntityProfile) -> Iterable[str]:
+        """The blocking keys ``profile`` belongs in — the substrate hook.
+
+        Token blocking keys a profile by its tokens; subclasses derive keys
+        differently (MinHash bucket keys in :mod:`repro.blocking.lsh`).
+        Per-key indexing effects are order-independent, so any iteration
+        order produces the identical collection.
+        """
+        return profile.tokens()
 
     def _intern_key(self, key: str) -> int:
         bid = self._key_ids.get(key)
@@ -210,9 +232,15 @@ class BlockCollection:
         """Dense interned id of a block key (stable, survives purging)."""
         return self._key_ids.get(key)
 
-    def blocks_of(self, pid: int) -> set[str]:
-        """Keys of the live blocks containing ``pid`` (B(p) in the paper)."""
-        return self._blocks_of.get(pid, set())
+    def blocks_of(self, pid: int) -> frozenset[str]:
+        """Keys of the live blocks containing ``pid`` (B(p) in the paper).
+
+        An immutable view: the internal key set is live, shared state
+        (purges mutate it in place), so handing it out would let callers
+        alias-mutate the index.
+        """
+        keys = self._blocks_of.get(pid)
+        return frozenset(keys) if keys else frozenset()
 
     def block_count_of(self, pid: int) -> int:
         """|B(p)| — number of live blocks containing ``pid`` (O(1))."""
@@ -292,6 +320,26 @@ class BlockCollection:
 
     def purged_keys(self) -> frozenset[str]:
         return frozenset(self._purged_keys)
+
+    def allows_pair(self, pid_x: int, pid_y: int) -> bool:
+        """Candidate pre-filter hook: may this pair become a candidate?
+
+        Token blocking never prunes (``prunes_candidates`` is ``False``, so
+        callers do not even dispatch here); the LSH prefilter substrate
+        overrides this with a signature co-bucket test.
+        """
+        return True
+
+    def drain_metrics(self) -> dict[str, float]:
+        """Counter deltas accumulated since the last drain (then reset).
+
+        Substrates with their own telemetry (``blocking.lsh.*``) buffer it
+        on the collection — which rides through checkpoints via deepcopy —
+        and the owning system flushes the deltas into the run's metrics
+        registry at its ingest/idle boundaries.  The token substrate has
+        nothing to report.
+        """
+        return {}
 
     def common_blocks(self, pid_x: int, pid_y: int) -> int:
         """|B(p_x) ∩ B(p_y)| — the raw ingredient of the CBS weight."""

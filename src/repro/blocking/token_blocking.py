@@ -1,19 +1,25 @@
-"""Incremental token blocking — the Incremental Blocking framework component.
+"""Incremental blocking — the Incremental Blocking framework component.
 
 This component receives data increments, indexes their profiles into the
-shared :class:`BlockCollection`, and charges virtual time for the work done
-(tokenization + per-token index updates).  It mirrors the "Incremental
+shared blocking substrate, and charges virtual time for the work done
+(tokenization + per-key index updates).  It mirrors the "Incremental
 Blocking" box of the paper's Figure 3: it outputs the maintained block
 collection together with the increment that was just indexed, and it can
 emit *empty* increments to trigger downstream prioritization when no new
 data is available.
+
+The substrate defaults to token blocking (the class predates the substrate
+protocol, hence its name); a :class:`~repro.blocking.substrate.BlockingConfig`
+swaps in the MinHash-LSH tier or the LSH prefilter without touching any
+consumer — everything downstream reads the collection through the
+:class:`~repro.blocking.substrate.BlockingSubstrate` protocol.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.blocking.blocks import BlockCollection
+from repro.blocking.substrate import BlockingConfig, BlockingSubstrate, make_collection
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
 
@@ -33,15 +39,22 @@ class BlockingCosts:
 
 
 class IncrementalTokenBlocking:
-    """Maintains a block collection across increments, with cost accounting."""
+    """Maintains a blocking substrate across increments, with cost accounting.
+
+    ``blocking`` selects the substrate (token / lsh / lsh-prefilter);
+    ``None`` keeps the historic token-blocking default.
+    """
 
     def __init__(
         self,
         clean_clean: bool = False,
         max_block_size: int | None = 200,
         costs: BlockingCosts | None = None,
+        blocking: BlockingConfig | None = None,
     ) -> None:
-        self.collection = BlockCollection(clean_clean=clean_clean, max_block_size=max_block_size)
+        self.collection: BlockingSubstrate = make_collection(
+            blocking, clean_clean=clean_clean, max_block_size=max_block_size
+        )
         self.costs = costs or BlockingCosts()
         self.profiles_processed = 0
         self.total_cost = 0.0

@@ -20,6 +20,7 @@ import sys
 from typing import Sequence
 
 from repro.api import EngineOptions, ERSession
+from repro.blocking.substrate import BLOCKING_SUBSTRATES
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation.experiments import SYSTEM_NAMES
 from repro.evaluation.io import run_result_to_json, write_curve_csv
@@ -44,7 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--increments", "--n-increments", dest="n_increments", type=int,
             default=100, metavar="N",
-            help="number of increments (Python API name: n_increments)",
+            help="number of increments the dataset is split into (Python "
+                 "API name: n_increments); batch baselines "
+                 "(PPS/PBS/BATCH/…-PSN) in the static setting (no --rate) "
+                 "ignore this and receive the whole dataset as a single "
+                 "increment, matching how the paper runs them",
         )
         sub.add_argument(
             "--rate", type=float, default=None,
@@ -75,6 +80,31 @@ def build_parser() -> argparse.ArgumentParser:
                  "bit-parallel), 'myers', 'banded' (band-limited DP), or "
                  "'full' (unbounded DP); all kernels compute identical "
                  "distances (escape hatch for debugging and benchmarking)",
+        )
+        sub.add_argument(
+            "--blocking", default="token", choices=list(BLOCKING_SUBSTRATES),
+            help="candidate-generation substrate: 'token' (the paper's "
+                 "token blocking, default), 'lsh' (incremental MinHash-LSH "
+                 "— signature buckets become the blocks), or "
+                 "'lsh-prefilter' (token blocks, but candidate pairs whose "
+                 "MinHash signatures share no bucket are pruned before "
+                 "weighting); unlike the other engine flags, 'lsh' and "
+                 "'lsh-prefilter' change which comparisons are generated",
+        )
+        sub.add_argument(
+            "--lsh-bands", dest="lsh_bands", type=int, default=16, metavar="B",
+            help="MinHash-LSH bands (with --blocking lsh/lsh-prefilter); "
+                 "candidate threshold is ~(1/B)**(1/R)",
+        )
+        sub.add_argument(
+            "--lsh-rows", dest="lsh_rows", type=int, default=2, metavar="R",
+            help="MinHash-LSH rows per band (signature length is B*R)",
+        )
+        sub.add_argument(
+            "--lsh-seed", dest="lsh_seed", type=int, default=0, metavar="SEED",
+            help="seed of the MinHash permutation family (results are "
+                 "deterministic per seed, independent of host or "
+                 "PYTHONHASHSEED)",
         )
         sub.add_argument(
             "--faults", type=int, default=None, metavar="SEED",
@@ -159,6 +189,10 @@ def _session(args, systems) -> ERSession:
             reply_timeout_s=args.reply_timeout_s,
             handshake_timeout_s=args.handshake_timeout_s,
             max_respawns=args.max_respawns,
+            blocking=args.blocking,
+            lsh_bands=args.lsh_bands,
+            lsh_rows=args.lsh_rows,
+            lsh_seed=args.lsh_seed,
         ),
         scale=args.scale,
         n_increments=args.n_increments,

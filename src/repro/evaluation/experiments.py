@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api import EngineOptions
 
+from repro.blocking.substrate import BlockingConfig
 from repro.core.dataset import Dataset, ERKind
 from repro.datasets.registry import load_dataset
 from repro.incremental.ibase import IBaseSystem
@@ -98,48 +99,69 @@ WEIGHTING_SYSTEMS = frozenset(
 
 
 def _build_system(
-    name: str, dataset: Dataset, *, per_pair_weighting: bool = False, **overrides
+    name: str,
+    dataset: Dataset,
+    *,
+    per_pair_weighting: bool = False,
+    blocking: "BlockingConfig | None" = None,
+    **overrides,
 ) -> ERSystem:
     """Instantiate an ER system by its paper name for a given dataset.
 
     ``per_pair_weighting=True`` selects the legacy per-pair meta-blocking
     weighting path instead of the single-sweep kernel for the systems that
     weight comparisons (bit-identical results; exists for bisection).
+
+    ``blocking`` selects the candidate-generation substrate
+    (token / lsh / lsh-prefilter) for every system; ``None`` keeps the
+    paper's token blocking.  For the PIER strategies it lands on the host
+    :class:`PierSystem` (the strategy objects never see the substrate —
+    they read it through the protocol).
     """
     clean_clean = dataset.kind is ERKind.CLEAN_CLEAN
     key = name.upper()
     if per_pair_weighting and key in WEIGHTING_SYSTEMS:
         overrides["per_pair_weighting"] = True
     if key == "I-PES":
-        return PierSystem(IPES(**overrides), clean_clean=clean_clean)
+        return PierSystem(IPES(**overrides), clean_clean=clean_clean, blocking=blocking)
     if key == "I-PCS":
-        return PierSystem(IPCS(**overrides), clean_clean=clean_clean)
+        return PierSystem(IPCS(**overrides), clean_clean=clean_clean, blocking=blocking)
     if key == "I-PBS":
-        return PierSystem(IPBS(**overrides), clean_clean=clean_clean)
+        return PierSystem(IPBS(**overrides), clean_clean=clean_clean, blocking=blocking)
     if key == "I-AUTO":
         # The future-work heuristic: inspect a data sample, pick a strategy.
         sample = dataset.profiles[: min(len(dataset.profiles), 256)]
-        system = PierSystem(make_chosen_strategy(sample, **overrides), clean_clean=clean_clean)
+        system = PierSystem(
+            make_chosen_strategy(sample, **overrides),
+            clean_clean=clean_clean,
+            blocking=blocking,
+        )
         system.name = f"I-AUTO[{system.strategy.name}]"
         return system
     if key == "I-BASE":
-        return IBaseSystem(clean_clean=clean_clean, **overrides)
+        return IBaseSystem(clean_clean=clean_clean, blocking=blocking, **overrides)
     if key in ("PPS", "PPS-GLOBAL"):
-        system = PPSSystem(clean_clean=clean_clean, scope="all", **overrides)
+        system = PPSSystem(
+            clean_clean=clean_clean, scope="all", blocking=blocking, **overrides
+        )
         system.name = key
         return system
     if key == "PPS-LOCAL":
-        return PPSSystem(clean_clean=clean_clean, scope="last", **overrides)
+        return PPSSystem(
+            clean_clean=clean_clean, scope="last", blocking=blocking, **overrides
+        )
     if key in ("PBS", "PBS-GLOBAL"):
-        system = PBSSystem(clean_clean=clean_clean, scope="all", **overrides)
+        system = PBSSystem(
+            clean_clean=clean_clean, scope="all", blocking=blocking, **overrides
+        )
         system.name = key
         return system
     if key == "LS-PSN":
-        return LSPSNSystem(clean_clean=clean_clean, **overrides)
+        return LSPSNSystem(clean_clean=clean_clean, blocking=blocking, **overrides)
     if key == "GS-PSN":
-        return GSPSNSystem(clean_clean=clean_clean, **overrides)
+        return GSPSNSystem(clean_clean=clean_clean, blocking=blocking, **overrides)
     if key == "BATCH":
-        return BatchERSystem(clean_clean=clean_clean, **overrides)
+        return BatchERSystem(clean_clean=clean_clean, blocking=blocking, **overrides)
     raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
 
 
@@ -162,9 +184,15 @@ class ExperimentConfig:
     budget: float = 300.0
     seed: int = 0
     dataset: Dataset | None = field(default=None, compare=False)
-    #: Engine behavior knobs (pipelined, scalar_matching, per_pair_weighting,
-    #: workers) — see :class:`repro.api.EngineOptions`.  ``None`` means all
-    #: defaults: serial engine, batched kernel, sweep weighting, one worker.
+    #: Engine knobs — see :class:`repro.api.EngineOptions` for the full
+    #: set: execution escape hatches (``pipelined``, ``scalar_matching``,
+    #: ``per_pair_weighting``, ``workers``, ``ed_kernel``), the fleet
+    #: supervision knobs (``reply_timeout_s``, ``handshake_timeout_s``,
+    #: ``max_respawns``, ``min_shard``), and the blocking-substrate choice
+    #: (``blocking``, ``lsh_bands``, ``lsh_rows``, ``lsh_seed`` — the one
+    #: group that changes *what* is computed).  ``None`` means all
+    #: defaults: serial engine, batched kernel, sweep weighting, one
+    #: worker, token blocking.
     engine: "EngineOptions | None" = None
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":

@@ -77,6 +77,9 @@ __all__ = ["PRESEEDED_COUNTERS", "PRESEEDED_PHASES", "RunResult", "RunState", "E
 #: appear in every export).  ``engine.checkpoints_taken`` is deliberately
 #: absent: its presence signals that checkpointing was enabled.
 PRESEEDED_COUNTERS = (
+    "blocking.lsh.buckets",
+    "blocking.lsh.candidates_pruned",
+    "blocking.lsh.signatures",
     "engine.comparisons_cut_by_deadline",
     "engine.comparisons_executed",
     "engine.duplicate_increments_dropped",

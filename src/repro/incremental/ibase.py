@@ -21,6 +21,7 @@ from __future__ import annotations
 import copy
 from collections import deque
 
+from repro.blocking.substrate import BlockingConfig
 from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlocking
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
@@ -48,6 +49,9 @@ class IBaseSystem(ERSystem):
     per_pair_weighting:
         Use the legacy one-``weight()``-call-per-candidate path instead of
         the single-sweep kernel (bit-identical; for bisection).
+    blocking:
+        Blocking-substrate choice (token / lsh / lsh-prefilter); ``None``
+        keeps the paper's token blocking.
     """
 
     name = "I-BASE"
@@ -62,6 +66,7 @@ class IBaseSystem(ERSystem):
         chunk_size: int = 64,
         high_watermark: int = 2000,
         per_pair_weighting: bool = False,
+        blocking: BlockingConfig | None = None,
     ) -> None:
         self.costs = costs or PipelineCosts()
         self.blocker = IncrementalTokenBlocking(
@@ -70,6 +75,7 @@ class IBaseSystem(ERSystem):
             costs=BlockingCosts(
                 per_profile=self.costs.per_profile, per_token=self.costs.per_token
             ),
+            blocking=blocking,
         )
         self.generator = ComparisonGenerator(beta=beta, scheme=scheme, per_pair=per_pair_weighting)
         self.chunk_size = chunk_size
@@ -99,6 +105,7 @@ class IBaseSystem(ERSystem):
                 self._fifo.append(pair)
                 self.metrics.count("strategy.comparisons_enqueued")
                 cost += self.costs.per_enqueue
+        self._flush_blocking_metrics(self.blocker.collection)
         return cost
 
     def emit(self, stats: PipelineStats) -> EmitResult:
@@ -122,7 +129,20 @@ class IBaseSystem(ERSystem):
 
     # ------------------------------------------------------------------
     def _valid_partner(self, profile: EntityProfile):
-        if not self.blocker.collection.clean_clean:
+        collection = self.blocker.collection
+        if collection.prunes_candidates:
+            # LSH prefilter: compose the co-bucket test into the predicate
+            # (no markers — the sweep must apply it per candidate).
+            pid_x = profile.pid
+            allows = collection.allows_pair
+            if not collection.clean_clean:
+                return lambda pid: allows(pid_x, pid)
+            source = profile.source
+            blocker = self.blocker
+            return lambda pid: (
+                allows(pid_x, pid) and blocker.profile(pid).source != source
+            )
+        if not collection.clean_clean:
             return _always_valid
         source = profile.source
         blocker = self.blocker

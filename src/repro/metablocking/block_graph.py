@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.blocking.blocks import BlockCollection
+from repro.blocking.substrate import BlockingSubstrate
 from repro.core.comparison import canonical_pair
 from repro.metablocking.sweep import partner_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
@@ -35,7 +35,7 @@ class BlockGraph:
 
     def __init__(
         self,
-        collection: BlockCollection,
+        collection: BlockingSubstrate,
         valid_pair: Callable[[int, int], bool],
         scheme: WeightingScheme | None = None,
         per_pair: bool = False,

@@ -12,7 +12,7 @@ covers the full meta-blocking toolbox for batch use:
 * **CNP** (Cardinality Node Pruning) — keep, for each profile, its top-``k``
   comparisons, ``k`` defaulting to the average blocks-per-profile.
 
-All operate on a :class:`BlockCollection` and return canonical weighted
+All operate on a :class:`~repro.blocking.substrate.BlockingSubstrate` and return canonical weighted
 comparisons.  They are batch utilities — the incremental pipelines keep
 using I-WNP as in the paper.
 """
@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-from repro.blocking.blocks import BlockCollection
+from repro.blocking.substrate import BlockingSubstrate
 from repro.core.comparison import WeightedComparison, canonical_pair
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 
@@ -35,7 +35,7 @@ __all__ = [
 
 
 def enumerate_weighted_comparisons(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     valid_pair: Callable[[int, int], bool],
     scheme: WeightingScheme | None = None,
 ) -> list[WeightedComparison]:
@@ -58,7 +58,7 @@ def enumerate_weighted_comparisons(
 
 
 def weighted_edge_pruning(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     valid_pair: Callable[[int, int], bool],
     scheme: WeightingScheme | None = None,
 ) -> list[WeightedComparison]:
@@ -71,7 +71,7 @@ def weighted_edge_pruning(
 
 
 def cardinality_edge_pruning(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     valid_pair: Callable[[int, int], bool],
     scheme: WeightingScheme | None = None,
     k: int | None = None,
@@ -91,7 +91,7 @@ def cardinality_edge_pruning(
 
 
 def cardinality_node_pruning(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     valid_pair: Callable[[int, int], bool],
     scheme: WeightingScheme | None = None,
     k: int | None = None,

@@ -23,7 +23,7 @@ Bit-identity with the per-pair path is a hard contract, relied on by the
 benchmark:
 
 * blocks are visited in sorted-key order (via
-  :meth:`~repro.blocking.blocks.BlockCollection.iter_partner_blocks`), so
+  :meth:`~repro.blocking.substrate.BlockingSubstrate.iter_partner_blocks`), so
   the ARCS float accumulation adds the same terms in the same order as the
   sorted per-pair intersection;
 * candidates are emitted in first-appearance order over the (ghosted)
@@ -40,7 +40,8 @@ from itertools import chain
 from operator import attrgetter
 from typing import Callable, Iterable, Sequence
 
-from repro.blocking.blocks import Block, BlockCollection
+from repro.blocking.blocks import Block
+from repro.blocking.substrate import BlockingSubstrate
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
 
 __all__ = ["sweep_weights", "partner_weights", "sweep_candidate_weights"]
@@ -51,7 +52,7 @@ _block_size = attrgetter("_size")
 
 
 def _arcs_totals(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid: int,
     blocks: Sequence[Block],
     source: int | None,
@@ -96,7 +97,7 @@ def _member_lists(
 
 
 def _count_totals(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid: int,
     blocks: Sequence[Block],
     source: int | None,
@@ -110,7 +111,7 @@ def _count_totals(
 
 
 def _accumulate(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid: int,
     blocks: Sequence[Block],
     scheme: WeightingScheme,
@@ -137,7 +138,7 @@ def _accumulate(
 
 
 def sweep_candidate_weights(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid: int,
     valid_partner: Callable[[int], bool] | None,
     scheme: WeightingScheme | None = None,
@@ -229,7 +230,7 @@ def sweep_candidate_weights(
 
 
 def sweep_weights(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid: int,
     valid_partner: Callable[[int], bool] | None,
     scheme: WeightingScheme | None = None,
@@ -250,7 +251,7 @@ def sweep_weights(
 
 
 def partner_weights(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid: int,
     partners: Iterable[int],
     scheme: WeightingScheme | None = None,

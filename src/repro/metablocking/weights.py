@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from typing import Protocol
 
-from repro.blocking.blocks import BlockCollection
+from repro.blocking.substrate import BlockingSubstrate
 
 __all__ = [
     "WeightingScheme",
@@ -40,7 +40,7 @@ class WeightingScheme(Protocol):
 
     name: str
 
-    def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
+    def weight(self, collection: BlockingSubstrate, pid_x: int, pid_y: int) -> float:
         """Match-likelihood weight of the comparison ``(pid_x, pid_y)``."""
         ...
 
@@ -59,11 +59,11 @@ class CommonBlocksScheme:
     #: no per-partner finalize call needed.
     sweep_weight_is_count = True
 
-    def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
+    def weight(self, collection: BlockingSubstrate, pid_x: int, pid_y: int) -> float:
         return float(collection.common_blocks(pid_x, pid_y))
 
     def finalize_sweep(
-        self, collection: BlockCollection, pid_x: int, pid_y: int, common: int
+        self, collection: BlockingSubstrate, pid_x: int, pid_y: int, common: int
     ) -> float:
         return float(common)
 
@@ -77,13 +77,13 @@ class EnhancedCommonBlocksScheme:
 
     name = "ECBS"
 
-    def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
+    def weight(self, collection: BlockingSubstrate, pid_x: int, pid_y: int) -> float:
         return self.finalize_sweep(
             collection, pid_x, pid_y, collection.common_blocks(pid_x, pid_y)
         )
 
     def finalize_sweep(
-        self, collection: BlockCollection, pid_x: int, pid_y: int, common: int
+        self, collection: BlockingSubstrate, pid_x: int, pid_y: int, common: int
     ) -> float:
         if common == 0:
             return 0.0
@@ -95,7 +95,7 @@ class EnhancedCommonBlocksScheme:
         return common * boost_x * boost_y
 
     def sweep_weights_for(
-        self, collection: BlockCollection, pid_x: int, candidates, counts
+        self, collection: BlockingSubstrate, pid_x: int, candidates, counts
     ) -> list[float]:
         """Vectorized ``finalize_sweep``: ``boost_x`` is hoisted out of the
         per-candidate loop (it only depends on ``pid_x``), which changes no
@@ -120,13 +120,13 @@ class JaccardScheme:
 
     name = "JS-scheme"
 
-    def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
+    def weight(self, collection: BlockingSubstrate, pid_x: int, pid_y: int) -> float:
         return self.finalize_sweep(
             collection, pid_x, pid_y, collection.common_blocks(pid_x, pid_y)
         )
 
     def finalize_sweep(
-        self, collection: BlockCollection, pid_x: int, pid_y: int, common: int
+        self, collection: BlockingSubstrate, pid_x: int, pid_y: int, common: int
     ) -> float:
         if common == 0:
             return 0.0
@@ -134,7 +134,7 @@ class JaccardScheme:
         return common / union if union else 0.0
 
     def sweep_weights_for(
-        self, collection: BlockCollection, pid_x: int, candidates, counts
+        self, collection: BlockingSubstrate, pid_x: int, candidates, counts
     ) -> list[float]:
         """Vectorized ``finalize_sweep`` with ``|B(p_x)|`` hoisted; the
         integer union arithmetic is exact, so the division is unchanged."""
@@ -168,7 +168,7 @@ class ARCSScheme:
     #: instead of plain counts.
     sweep_accumulates_inverse_cardinality = True
 
-    def weight(self, collection: BlockCollection, pid_x: int, pid_y: int) -> float:
+    def weight(self, collection: BlockingSubstrate, pid_x: int, pid_y: int) -> float:
         keys_x = collection.blocks_of(pid_x)
         keys_y = collection.blocks_of(pid_y)
         if not keys_x or not keys_y:

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.blocking.blocks import BlockCollection
+from repro.blocking.substrate import BlockingSubstrate
 from repro.core.comparison import WeightedComparison
 from repro.metablocking.sweep import sweep_candidate_weights
 from repro.metablocking.weights import CommonBlocksScheme, WeightingScheme
@@ -78,7 +78,7 @@ def _prune_below_average(
 
 
 def incremental_wnp(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid_x: int,
     candidate_pids: list[int],
     scheme: WeightingScheme | None = None,
@@ -113,7 +113,7 @@ def incremental_wnp(
 
 
 def sweep_wnp(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid_x: int,
     valid_partner: Callable[[int], bool] | None,
     scheme: WeightingScheme | None = None,
@@ -137,7 +137,7 @@ def sweep_wnp(
 
 
 def batch_wnp_for_profile(
-    collection: BlockCollection,
+    collection: BlockingSubstrate,
     pid_x: int,
     valid_partner: Callable[[int], bool],
     scheme: WeightingScheme | None = None,

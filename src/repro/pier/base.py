@@ -23,8 +23,8 @@ import copy
 import heapq
 from typing import Callable, Iterable
 
-from repro.blocking.blocks import BlockCollection
 from repro.blocking.cleaning import block_ghosting
+from repro.blocking.substrate import BlockingConfig, BlockingSubstrate
 from repro.blocking.token_blocking import BlockingCosts, IncrementalTokenBlocking
 from repro.core.comparison import WeightedComparison, canonical_pair
 from repro.core.increments import Increment
@@ -77,7 +77,7 @@ class ComparisonGenerator:
 
     def generate(
         self,
-        collection: BlockCollection,
+        collection: BlockingSubstrate,
         profile: EntityProfile,
         valid_partner: Callable[[int], bool],
     ) -> tuple[tuple[WeightedComparison, ...], int]:
@@ -149,7 +149,7 @@ class GetComparisons:
             return False
         return size > self._drained_size.get(block.key, 0)
 
-    def _pop_smallest(self, collection: BlockCollection):
+    def _pop_smallest(self, collection: BlockingSubstrate):
         """Smallest eligible block, or ``None``; amortizes scans via a heap."""
         for attempt in range(2):
             while self._heap:
@@ -170,7 +170,7 @@ class GetComparisons:
 
     def next_batch(
         self,
-        collection: BlockCollection,
+        collection: BlockingSubstrate,
         already_executed: Callable[[int, int], bool],
     ) -> tuple[list[WeightedComparison], int] | None:
         """Drain the next eligible block.
@@ -183,9 +183,12 @@ class GetComparisons:
         if block is None:
             return None
         self._drained_size[block.key] = len(block)
+        prune = collection.allows_pair if collection.prunes_candidates else None
         pairs: list[tuple[int, int]] = []
         for pid_x, pid_y in block.pairs(collection.clean_clean):
             pair = canonical_pair(pid_x, pid_y)
+            if prune is not None and not prune(*pair):
+                continue
             if already_executed(*pair):
                 continue
             pairs.append(pair)
@@ -208,7 +211,7 @@ class GetComparisons:
             ]
         return weighted, len(pairs)
 
-    def is_exhausted(self, collection: BlockCollection) -> bool:
+    def is_exhausted(self, collection: BlockingSubstrate) -> bool:
         return not any(self._eligible(block) for block in collection)
 
     def reset(self) -> None:
@@ -301,6 +304,9 @@ class PierSystem(ERSystem):
         Virtual cost parameters.
     adaptive_k:
         The ``findK`` controller; a fresh default one if omitted.
+    blocking:
+        Blocking-substrate choice (token / lsh / lsh-prefilter); ``None``
+        keeps the paper's token blocking.
     """
 
     def __init__(
@@ -311,6 +317,7 @@ class PierSystem(ERSystem):
         costs: PipelineCosts | None = None,
         blocking_costs: BlockingCosts | None = None,
         adaptive_k: AdaptiveK | None = None,
+        blocking: BlockingConfig | None = None,
     ) -> None:
         self.strategy = strategy
         self.costs = costs or PipelineCosts()
@@ -321,6 +328,7 @@ class PierSystem(ERSystem):
             clean_clean=clean_clean,
             max_block_size=max_block_size,
             costs=blocking_costs,
+            blocking=blocking,
         )
         self.adaptive_k = adaptive_k or AdaptiveK()
         self.store = ComparisonStore()
@@ -336,6 +344,7 @@ class PierSystem(ERSystem):
             cost += self.strategy.on_empty_increment(self)
         else:
             cost += self.strategy.ingest_profiles(self, increment.profiles)
+        self._flush_blocking_metrics(self.collection)
         return cost
 
     def emit(self, stats: PipelineStats) -> EmitResult:
@@ -361,6 +370,7 @@ class PierSystem(ERSystem):
 
     def on_idle(self, stats: PipelineStats) -> float | None:
         cost = self.strategy.on_empty_increment(self)
+        self._flush_blocking_metrics(self.collection)
         if len(self.strategy) == 0:
             # Even the refill produced nothing: all work is exhausted.
             return None
@@ -383,7 +393,7 @@ class PierSystem(ERSystem):
     # Internals shared with strategies
     # ------------------------------------------------------------------
     @property
-    def collection(self) -> BlockCollection:
+    def collection(self) -> BlockingSubstrate:
         return self.blocker.collection
 
     def valid_partner(self, profile: EntityProfile) -> Callable[[int], bool]:
@@ -391,9 +401,23 @@ class PierSystem(ERSystem):
 
         The returned predicates carry self-describing markers
         (``always_true`` / ``cross_source_only``) that let the sweep kernel
-        skip the per-candidate filter when it is provably redundant.
+        skip the per-candidate filter when it is provably redundant.  On a
+        pruning substrate (the LSH prefilter) the co-bucket test composes
+        into the predicate — *without* markers, so the sweep always applies
+        it.
         """
-        if not self.collection.clean_clean:
+        collection = self.collection
+        if collection.prunes_candidates:
+            pid_x = profile.pid
+            allows = collection.allows_pair
+            if not collection.clean_clean:
+                return lambda pid: allows(pid_x, pid)
+            source = profile.source
+            blocker = self.blocker
+            return lambda pid: (
+                allows(pid_x, pid) and blocker.profile(pid).source != source
+            )
+        if not collection.clean_clean:
             return _always_valid
         source = profile.source
         blocker = self.blocker

@@ -150,6 +150,7 @@ class IPBS(IncrPrioritization):
         metrics.count("strategy.blocks_processed")
         # Sorted iteration keeps generation order independent of set-table
         # history, so a checkpoint-restored run replays identically.
+        prune = collection.allows_pair if collection.prunes_candidates else None
         survivors: list[tuple[int, int]] = []
         for pid_x in sorted(pending):
             profile_x = system.profile(pid_x)
@@ -161,6 +162,8 @@ class IPBS(IncrPrioritization):
                 if pid_y == pid_x:
                     continue
                 pair = canonical_pair(pid_x, pid_y)
+                if prune is not None and not prune(*pair):
+                    continue
                 if self.comparison_filter.contains(*pair):
                     metrics.count("strategy.bloom_filtered")
                     continue

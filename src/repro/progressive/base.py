@@ -27,7 +27,7 @@ time bounded in the collapse regimes of Figures 2 and 7.
 
 from __future__ import annotations
 
-from repro.blocking.blocks import BlockCollection
+from repro.blocking.substrate import BlockingConfig, make_collection
 from repro.core.increments import Increment
 from repro.core.profile import EntityProfile
 from repro.execution.store import ComparisonStore
@@ -51,6 +51,7 @@ class BatchProgressiveSystem(ERSystem):
         costs: PipelineCosts | None = None,
         scope: str = "all",
         chunk_size: int = 64,
+        blocking: BlockingConfig | None = None,
     ) -> None:
         if scope not in ("all", "last"):
             raise ValueError("scope must be 'all' or 'last'")
@@ -59,7 +60,10 @@ class BatchProgressiveSystem(ERSystem):
         self.max_block_size = max_block_size
         self.scope = scope
         self.chunk_size = chunk_size
-        self.collection = BlockCollection(clean_clean=clean_clean, max_block_size=max_block_size)
+        self.blocking = blocking
+        self.collection = make_collection(
+            blocking, clean_clean=clean_clean, max_block_size=max_block_size
+        )
         self._profiles: dict[int, EntityProfile] = {}
         self._dirty = False
         self.store = ComparisonStore()
@@ -73,8 +77,10 @@ class BatchProgressiveSystem(ERSystem):
         if increment.is_empty:
             return self.costs.per_round
         if self.scope == "last":
-            self.collection = BlockCollection(
-                clean_clean=self.clean_clean, max_block_size=self.max_block_size
+            self.collection = make_collection(
+                self.blocking,
+                clean_clean=self.clean_clean,
+                max_block_size=self.max_block_size,
             )
             self._profiles.clear()
         cost = 0.0
@@ -82,6 +88,7 @@ class BatchProgressiveSystem(ERSystem):
             self.collection.add_profile(profile)
             self._profiles[profile.pid] = profile
             cost += self.costs.per_profile + self.costs.per_token * len(profile.tokens())
+        self._flush_blocking_metrics(self.collection)
         self._dirty = True
         # The batch algorithms reassess their prioritization for *every* new
         # increment (the paper's central criticism of the naive GLOBAL
@@ -94,6 +101,13 @@ class BatchProgressiveSystem(ERSystem):
         return cost
 
     def emit(self, stats: PipelineStats) -> EmitResult:
+        result = self._emit(stats)
+        # Initialization/emission consult the substrate (the LSH prefilter
+        # prunes inside valid_pair), so drain its telemetry every round.
+        self._flush_blocking_metrics(self.collection)
+        return result
+
+    def _emit(self, stats: PipelineStats) -> EmitResult:
         if self._dirty:
             owed = max(self._pending_init_cost, self._estimate_init_cost())
             remaining = stats.remaining_budget
@@ -139,6 +153,9 @@ class BatchProgressiveSystem(ERSystem):
     # ------------------------------------------------------------------
     def valid_pair(self, pid_x: int, pid_y: int) -> bool:
         if pid_x == pid_y:
+            return False
+        collection = self.collection
+        if collection.prunes_candidates and not collection.allows_pair(pid_x, pid_y):
             return False
         if not self.clean_clean:
             return True

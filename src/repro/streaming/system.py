@@ -103,6 +103,21 @@ class ERSystem:
         """Attach the engine's per-run registry; called at the start of a run."""
         self._metrics = registry
 
+    def _flush_blocking_metrics(self, collection) -> None:
+        """Drain a blocking substrate's buffered counter deltas.
+
+        Substrate telemetry (``blocking.lsh.*``) accrues on the collection
+        object — which is what engine checkpoints deep-copy — and systems
+        flush it here at their ingest/idle boundaries, so a restored run
+        replays both the metrics registry and the undrained buffer from one
+        consistent snapshot.
+        """
+        pending = collection.drain_metrics()
+        if pending:
+            metrics = self.metrics
+            for name, value in pending.items():
+                metrics.count(name, value)
+
     def gauges(self) -> dict[str, float]:
         """Current gauge readings sampled into the per-round log.
 
