@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import json
 
-from repro import StreamingEngine, load_dataset, make_system, split_into_increments
+from repro import ERSession, EngineOptions, load_dataset, split_into_increments
 from repro.core.increments import make_poisson_stream_plan
-from repro.evaluation import make_matcher, run_result_to_dict, summary_table
-from repro.streaming import PipelinedStreamingEngine
+from repro.evaluation import run_result_to_dict, summary_table
 
 
 def main() -> None:
@@ -32,19 +31,25 @@ def main() -> None:
         increments = split_into_increments(dataset, 120, seed=0)
         plan = make_poisson_stream_plan(increments, rate=16.0, seed=7)
 
-        # The heuristic inspects the first profiles and picks the strategy.
-        system = make_system("I-AUTO", dataset)
-        print(f"{dataset_name}: heuristic selected {system.name}")
-
-        serial = StreamingEngine(make_matcher("ED"), budget=60.0)
-        results[f"{dataset_name} serial {system.name}"] = serial.run(
-            system, plan, dataset.ground_truth
-        )
-
-        pipelined = PipelinedStreamingEngine(make_matcher("ED"), budget=60.0)
-        results[f"{dataset_name} pipelined {system.name}"] = pipelined.run(
-            make_system("I-AUTO", dataset), plan, dataset.ground_truth
-        )
+        # Irregular arrivals don't fit the session's built-in plan shapes,
+        # so feed the Poisson plan through the push-mode surface instead.
+        for label, options in (
+            ("serial", EngineOptions()),
+            ("pipelined", EngineOptions(pipelined=True)),
+        ):
+            with ERSession(
+                dataset, systems=("I-AUTO",), matcher="ED", engine=options,
+                budget=60.0,
+            ) as session:
+                # The heuristic inspects the first profiles and picks the
+                # strategy (I-PBS for relational data, I-PES otherwise).
+                push = session.push("I-AUTO")
+                push.feed_plan(plan)
+                push.drain(60.0)
+                result = push.results()
+            if label == "serial":
+                print(f"{dataset_name}: heuristic selected {result.system_name}")
+            results[f"{dataset_name} {label} {result.system_name}"] = result
 
     print()
     print(summary_table(results))

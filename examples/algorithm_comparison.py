@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentConfig, run_experiment
+from repro import ERSession
 from repro.evaluation import pc_over_time_table, summary_table
 
 ALGORITHMS = ("I-PES", "I-PCS", "I-PBS", "I-BASE", "PPS-GLOBAL", "PPS-LOCAL")
@@ -21,18 +21,18 @@ def main() -> None:
     dataset_name = sys.argv[1] if len(sys.argv) > 1 else "dbpedia"
     matcher = sys.argv[2] if len(sys.argv) > 2 else "JS"
 
-    config = ExperimentConfig(
-        dataset_name=dataset_name,
+    print(f"Running {len(ALGORITHMS)} algorithms on {dataset_name} "
+          f"({matcher} matcher, 32 dD/s, 120s virtual budget)...\n")
+    with ERSession(
+        dataset_name,
         systems=ALGORITHMS,
         matcher=matcher,
         scale=0.3,
         n_increments=200,
         rate=32.0,       # the paper's fast stream
         budget=120.0,
-    )
-    print(f"Running {len(ALGORITHMS)} algorithms on {dataset_name} "
-          f"({matcher} matcher, 32 dD/s, 120s virtual budget)...\n")
-    results = run_experiment(config)
+    ) as session:
+        results = session.compare()
 
     times = [5, 10, 20, 40, 60, 90, 120]
     print("PC over virtual time ('x' marks: stream fully consumed):")

@@ -20,15 +20,11 @@ import random
 
 from repro import (
     Dataset,
-    EntityProfile,
     ERKind,
+    ERSession,
+    EntityProfile,
     GroundTruth,
-    Increment,
-    StreamingEngine,
-    make_stream_plan,
-    make_system,
 )
-from repro.evaluation import make_matcher
 
 ELEMENT_TYPES = ("wall", "beam", "column", "slab", "panel", "truss", "girder")
 MATERIALS = ("timber", "steel", "concrete", "cltpanel", "glulam")
@@ -99,18 +95,17 @@ def main() -> None:
           f"site observations: {len(site_profiles)}; "
           f"expected matches: {len(matches)}")
 
-    # The design model is available upfront (one big increment at t=0);
-    # site observations stream in at 4 scans-batches per virtual second.
-    design_increment = Increment(0, tuple(design_profiles))
-    site_increments = [
-        Increment(i + 1, tuple(site_profiles[start : start + 10]))
-        for i, start in enumerate(range(0, len(site_profiles), 10))
-    ]
-    plan = make_stream_plan([design_increment] + site_increments, rate=4.0)
-
-    engine = StreamingEngine(make_matcher("JS"), budget=120.0)
-    system = make_system("I-PES", dataset)
-    result = engine.run(system, plan, dataset.ground_truth)
+    # The design model is available upfront (ingested at t=0); site
+    # observations stream in at 4 scan-batches per virtual second through
+    # the push-mode session surface — fed as they "arrive", the way a
+    # live monitoring feed would deliver them.
+    with ERSession(dataset, systems=("I-PES",), matcher="JS", budget=120.0) as session:
+        push = session.push()
+        push.ingest(design_profiles, at=0.0)
+        for i, start in enumerate(range(0, len(site_profiles), 10)):
+            push.ingest(site_profiles[start : start + 10], at=(i + 1) / 4.0)
+        push.drain(120.0)
+        result = push.results()
 
     print(f"\nMatched {len(result.duplicates)} site observations to design elements")
     print(f"Pair completeness: {result.final_pc:.3f}")

@@ -15,14 +15,7 @@ Run with:  python examples/fraud_monitoring.py
 
 from __future__ import annotations
 
-from repro import (
-    StreamingEngine,
-    load_dataset,
-    make_stream_plan,
-    make_system,
-    split_into_increments,
-)
-from repro.evaluation import make_matcher
+from repro import ERSession, load_dataset
 
 
 def detection_latencies(plan, result) -> list[float]:
@@ -42,16 +35,21 @@ def main() -> None:
     # A registration stream: 2000 identity records, ~40% involved in
     # duplicate clusters, arriving as 100 bursts at 8 bursts/second.
     dataset = load_dataset("census_2m", scale=0.65)
-    increments = split_into_increments(dataset, 100, seed=1)
-    plan = make_stream_plan(increments, rate=8.0)
+    session = ERSession(
+        dataset,
+        systems=("I-PES", "I-BASE"),
+        matcher="JS",
+        n_increments=100,
+        rate=8.0,
+        budget=40.0,
+        seed=1,
+    )
     print(f"Monitoring stream: {len(dataset)} identity records, "
           f"{len(dataset.ground_truth)} duplicate pairs, 8 bursts/s\n")
 
-    for algorithm in ("I-PES", "I-BASE"):
-        engine = StreamingEngine(make_matcher("JS"), budget=40.0)
-        system = make_system(algorithm, dataset)
-        result = engine.run(system, plan, dataset.ground_truth)
-        latencies = detection_latencies(plan, result)
+    for algorithm in session.systems:
+        result = session.run(algorithm)
+        latencies = detection_latencies(session.plan_for(algorithm), result)
         mean_latency = sum(latencies) / len(latencies) if latencies else float("nan")
         print(f"{algorithm}:")
         print(f"  duplicate identities flagged: {len(result.duplicates)}")

@@ -35,12 +35,7 @@ from repro.core import (
     split_into_increments,
 )
 from repro.datasets import available_datasets, load_dataset
-from repro.evaluation import (
-    ExperimentConfig,
-    make_matcher,
-    make_system,
-    run_experiment,
-)
+from repro.evaluation import ExperimentConfig
 
 # Imported after ``repro.evaluation``: resolving ``ExecutionCore`` pulls in
 # ``repro.execution.core``, which reaches back into the evaluation and
@@ -123,11 +118,8 @@ __all__ = [
     "apply_faults",
     "available_datasets",
     "load_dataset",
-    "make_matcher",
     "make_stream_plan",
-    "make_system",
     "resolve_stream",
-    "run_experiment",
     "split_into_increments",
 ]
 

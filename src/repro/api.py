@@ -36,7 +36,13 @@ from typing import Sequence
 
 from repro.blocking.substrate import BlockingConfig
 from repro.core.dataset import Dataset, GroundTruth
-from repro.core.increments import StreamPlan, make_stream_plan, split_into_increments
+from repro.core.increments import (
+    Increment,
+    StreamPlan,
+    make_stream_plan,
+    split_into_increments,
+)
+from repro.core.profile import EntityProfile
 from repro.datasets.registry import load_dataset
 from repro.evaluation.experiments import (
     BATCH_SYSTEMS,
@@ -58,7 +64,7 @@ from repro.resilience.retry import ResilienceConfig
 from repro.streaming.engine import RunResult, StreamingEngine
 from repro.streaming.pipelined import PipelinedStreamingEngine
 
-__all__ = ["EngineOptions", "ERSession", "run_cell"]
+__all__ = ["EngineOptions", "ERSession", "PushSession", "run_cell"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,6 +192,14 @@ class ERSession:
     checkpoint_every / resilience:
         Checkpoint cadence override and the full resilience knob set,
         passed through to the engine.
+    pool:
+        An externally owned :class:`~repro.parallel.pool.WorkerPool` to
+        score through instead of spawning a session-private fleet.  The
+        session *borrows* the pool — :meth:`close` never shuts it down —
+        which is how the service multiplexes many tenant sessions onto one
+        fleet.  The pool's matcher template must match this session's
+        matcher configuration; interleaved runs re-claim the fleet's
+        profile caches per run (see ``WorkerPool.begin_run``).
     """
 
     def __init__(
@@ -205,6 +219,7 @@ class ERSession:
         worker_faults: "int | WorkerFaultSpec | None" = None,
         checkpoint_every: float | None = None,
         resilience: ResilienceConfig | None = None,
+        pool: "object | None" = None,
     ) -> None:
         self._dataset_arg = dataset
         self.systems: tuple[str, ...] = (
@@ -241,6 +256,9 @@ class ERSession:
         self._plans: dict[bool, StreamPlan] = {}
         self._pool = None
         self._pool_attempted = False
+        self._external_pool = pool
+        self._push: PushSession | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lazy building blocks
@@ -324,6 +342,9 @@ class ERSession:
             or not matcher.supports_batch
         ):
             return None
+        if self._external_pool is not None:
+            pool = self._external_pool
+            return pool if pool.healthy else None
         if self._pool is None and not self._pool_attempted:
             self._pool_attempted = True
             from repro.parallel.pool import DEFAULT_MIN_SHARD, WorkerPool
@@ -351,18 +372,82 @@ class ERSession:
         *,
         resume_from: EngineCheckpoint | None = None,
     ) -> RunResult:
-        """Run one system (the first configured one by default)."""
+        """Run one system (the first configured one by default).
+
+        A thin wrapper over the push-mode surface: the session's whole
+        stream plan is fed up front and drained once to the budget, which
+        is bit-identical to the historical single-shot semantics (the
+        engine-parity suite pins this down).
+        """
+        self._require_open("run")
         name = system if system is not None else self.systems[0]
-        matcher = self.build_matcher()
-        engine = self.build_engine(matcher)
-        result = engine.run(
-            self.build_system(name),
-            self.plan_for(name),
-            self.ground_truth,
+        push = self.push(name, resume_from=resume_from)
+        push.feed_plan(self.plan_for(name))
+        push.drain(self.budget)
+        return push.results()
+
+    # ------------------------------------------------------------------
+    # Push mode
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        system: str | None = None,
+        *,
+        resume_from: EngineCheckpoint | None = None,
+        adopt_checkpoint_budget: bool = False,
+    ) -> "PushSession":
+        """Open a push-mode run: feed increments as they arrive.
+
+        Returns a :class:`PushSession` whose ``ingest``/``drain``/
+        ``results`` methods drive one engine run incrementally (see
+        :mod:`repro.execution.push` for the exact semantics).  Each call
+        opens an independent run; the session-level :meth:`ingest` /
+        :meth:`drain` / :meth:`results` conveniences manage a single
+        default one.
+        """
+        self._require_open("push")
+        name = system if system is not None else self.systems[0]
+        return PushSession(
+            self,
+            name,
             resume_from=resume_from,
+            adopt_checkpoint_budget=adopt_checkpoint_budget,
         )
-        self.last_checkpoint = engine.last_checkpoint
-        return result
+
+    def ingest(
+        self, profiles: Sequence[EntityProfile], at: float | None = None
+    ) -> float:
+        """Feed one profile increment into the session's default push run.
+
+        Opens the run on first use (and re-opens after :meth:`results`
+        finalized the previous one).  Returns the virtual arrival time
+        recorded for the increment.
+        """
+        self._require_open("ingest")
+        if self._push is None or self._push.finished:
+            self._push = self.push()
+        return self._push.ingest(profiles, at=at)
+
+    def drain(self, until: float) -> float:
+        """Advance the default push run's virtual clock to ``until``.
+
+        ``until`` is an absolute virtual-time horizon — the push-mode
+        generalization of the classic budget deadline — and must be
+        non-decreasing across drains.  Returns the clock after draining.
+        """
+        self._require_open("drain")
+        if self._push is None or self._push.finished:
+            self._push = self.push()
+        return self._push.drain(until)
+
+    def results(self) -> RunResult:
+        """Finalize the default push run and return its :class:`RunResult`."""
+        self._require_open("results")
+        if self._push is None:
+            raise RuntimeError(
+                "no push run in progress: call ingest() or drain() first"
+            )
+        return self._push.results()
 
     def compare(self, *, parallel_cells: bool | None = None) -> dict[str, RunResult]:
         """Run every configured system; results keyed in configuration order.
@@ -373,6 +458,7 @@ class ERSession:
         comparisons run serially (each run still sharding through Tier A).
         ``parallel_cells=False`` is the explicit escape hatch.
         """
+        self._require_open("compare")
         workers = self.engine_options.workers
         fan_out = workers > 1 and len(self.systems) > 1
         if parallel_cells is not None:
@@ -432,18 +518,158 @@ class ERSession:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has shut this session down."""
+        return self._closed
+
+    def _require_open(self, action: str) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"cannot {action}: this ERSession is closed (close() was "
+                "called); build a new session to run again"
+            )
+
     def close(self) -> None:
-        """Shut down the session's worker pool, if one was ever started."""
+        """Shut down the session's worker pool, if one was ever started.
+
+        Idempotent: closing twice is a no-op.  Any other call on a closed
+        session raises :class:`RuntimeError` at the facade — previously a
+        use-after-close failed obscurely deep inside the pool.  A borrowed
+        external pool (the ``pool=`` constructor argument) is *not* closed;
+        its owner decides its lifetime.
+        """
         if self._pool is not None:
             self._pool.close()
             self._pool = None
         self._pool_attempted = False
+        self._push = None
+        self._closed = True
 
     def __enter__(self) -> "ERSession":
+        self._require_open("enter")
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class PushSession:
+    """One push-mode engine run opened by :meth:`ERSession.push`.
+
+    A thin facade over :class:`repro.execution.push.PushRun` that adds the
+    session's builders (matcher, system, engine, shared pool) and profile-
+    level ingestion: :meth:`ingest` wraps raw profiles into the next
+    :class:`~repro.core.increments.Increment` so callers never hand-number
+    increments.  :meth:`feed` remains available for replaying prepared
+    increments (checkpoint restore, plan adapters) with their original
+    indices.
+
+    The run is lazy like the engine's own: state materializes at the first
+    drain, which is what lets a restore see every increment fed before it.
+    """
+
+    def __init__(
+        self,
+        session: ERSession,
+        system_name: str,
+        *,
+        resume_from: EngineCheckpoint | None = None,
+        adopt_checkpoint_budget: bool = False,
+    ) -> None:
+        self._session = session
+        self.system_name = system_name
+        matcher = session.build_matcher()
+        self._engine = session.build_engine(matcher)
+        self._run = self._engine.open_push(
+            session.build_system(system_name),
+            session.ground_truth,
+            resume_from=resume_from,
+            adopt_checkpoint_budget=adopt_checkpoint_budget,
+        )
+        self._next_index = 0
+
+    # -- feeding -------------------------------------------------------
+    def ingest(
+        self, profiles: Sequence[EntityProfile], at: float | None = None
+    ) -> float:
+        """Feed one increment of profiles arriving at virtual time ``at``.
+
+        ``at`` defaults to "now" (the later of the run's clock and the last
+        arrival); explicit times must be non-decreasing.  Returns the
+        arrival time recorded.
+        """
+        increment = Increment(index=self._next_index, profiles=tuple(profiles))
+        return self.feed(increment, at=at)
+
+    def feed(self, increment: Increment, at: float | None = None) -> float:
+        """Feed one prepared :class:`Increment` (keeps its index)."""
+        recorded = self._run.feed(increment, at=at)
+        self._next_index = max(self._next_index, increment.index + 1)
+        return recorded
+
+    def feed_plan(self, plan: StreamPlan) -> None:
+        """Feed every increment of a prepared stream plan."""
+        for at, increment in plan:
+            self.feed(increment, at=at)
+
+    # -- driving -------------------------------------------------------
+    def start(self) -> None:
+        """Materialize the run state now (applying any pending restore)."""
+        self._run.start()
+
+    def drain(self, until: float) -> float:
+        """Advance the run to the absolute virtual horizon ``until``."""
+        clock = self._run.drain(until)
+        self._session.last_checkpoint = self._engine.last_checkpoint
+        return clock
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Take a consistent cut of the run (between drains)."""
+        return self._run.checkpoint()
+
+    def results(self) -> RunResult:
+        """Finalize the run; repeated calls return the same result."""
+        result = self._run.results()
+        self._session.last_checkpoint = self._engine.last_checkpoint
+        return result
+
+    # -- introspection -------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._run.started
+
+    @property
+    def finished(self) -> bool:
+        return self._run.finished
+
+    @property
+    def horizon(self) -> float | None:
+        return self._run.horizon
+
+    @property
+    def clock(self) -> float:
+        return self._run.clock
+
+    @property
+    def matches(self) -> frozenset[tuple[int, int]]:
+        return self._run.matches
+
+    @property
+    def comparisons_executed(self) -> int:
+        return self._run.comparisons_executed
+
+    @property
+    def increments_fed(self) -> int:
+        return self._run.increments_fed
+
+    @property
+    def backlog(self) -> int:
+        return self._run.backlog
+
+    @property
+    def work_exhausted(self) -> bool:
+        return self._run.work_exhausted
 
 
 def run_cell(config: ExperimentConfig, system_name: str) -> RunResult:

@@ -1,12 +1,12 @@
 """Evaluation: metrics, progress recording, experiment harness, reporting."""
 
+# ``make_matcher``/``make_system``/``run_experiment`` are deliberately NOT
+# re-exported: they are deprecated shims, importable from
+# ``repro.evaluation.experiments`` for one more release.
 from repro.evaluation.experiments import (
     BATCH_SYSTEMS,
     ExperimentConfig,
     SYSTEM_NAMES,
-    make_matcher,
-    make_system,
-    run_experiment,
 )
 from repro.evaluation.io import (
     curve_rows,
@@ -40,14 +40,11 @@ __all__ = [
     "curve_rows",
     "f_measure",
     "format_table",
-    "make_matcher",
-    "make_system",
     "pair_completeness",
     "pairs_quality",
     "pc_over_comparisons_table",
     "pc_over_time_table",
     "reduction_ratio",
-    "run_experiment",
     "run_result_to_dict",
     "run_result_to_json",
     "summary_table",

@@ -267,10 +267,38 @@ class ExecutionCore:
         checkpoint and continues the run from its consistent cut; the
         completed run is then bit-identical (curve, duplicates, counters)
         to one that was never interrupted.
+
+        Implemented as the degenerate push-mode schedule (feed the whole
+        plan, drain once to the budget) over :class:`PushRun` — push mode
+        is therefore semantics-neutral by construction: every classic run
+        exercises it.
         """
-        state = self._setup(system, plan, ground_truth, resume_from)
-        self._drive(state)
-        return self._finalize(state)
+        push = self.open_push(system, ground_truth, resume_from=resume_from)
+        push.feed_plan(plan)
+        push.drain(self.budget)
+        return push.results()
+
+    def open_push(
+        self,
+        system: ERSystem,
+        ground_truth: GroundTruth,
+        resume_from: EngineCheckpoint | None = None,
+        adopt_checkpoint_budget: bool = False,
+    ) -> "PushRun":
+        """Open a push-mode run: feed increments, drain to horizons.
+
+        See :class:`repro.execution.push.PushRun`.  The engine must not be
+        used for another run until the push run is finalized.
+        """
+        from repro.execution.push import PushRun
+
+        return PushRun(
+            self,
+            system,
+            ground_truth,
+            resume_from=resume_from,
+            adopt_checkpoint_budget=adopt_checkpoint_budget,
+        )
 
     def _drive(self, state: RunState) -> None:
         """The engine's step-ordering policy: run the loop until the budget
@@ -294,8 +322,10 @@ class ExecutionCore:
         matcher.bind_metrics(metrics)
         if self._pool is not None:
             # Profile ids are only unique within a dataset: worker caches
-            # must never survive into a new run.
-            self._pool.begin_run()
+            # must never survive into a new run.  Claiming the pool also
+            # lets interleaved runs (multi-tenant push sessions sharing one
+            # fleet) detect each other and re-reset on every owner switch.
+            self._pool.begin_run(owner=self)
 
         state = RunState()
         state.system = system
@@ -685,6 +715,12 @@ class ExecutionCore:
             return None
         from repro.parallel.pool import WorkerPoolError
 
+        if pool.owner is not self:
+            # Another engine scored through this pool since our last round
+            # (interleaved tenants sharing one fleet): worker caches hold
+            # that run's profiles under possibly colliding pids, so reset
+            # before scoring.  Single-run engines never hit this branch.
+            pool.begin_run(owner=self)
         try:
             scores = pool.batch_scores(pairs)
         except WorkerPoolError:

@@ -280,6 +280,9 @@ class WorkerPool:
         self._rescue: "Matcher | None" = None
         self._respawn_rng = random.Random(self.supervision.respawn_seed)
         self._closed = False
+        #: The engine currently scoring through this pool (see
+        #: :meth:`begin_run`).  ``None`` until a run claims the fleet.
+        self._owner: object | None = None
         self._slots = [_Slot(index) for index in range(workers)]
         try:
             for slot in self._slots:
@@ -538,7 +541,18 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Run lifecycle
     # ------------------------------------------------------------------
-    def begin_run(self) -> None:
+    @property
+    def owner(self) -> object | None:
+        """The engine that last claimed the fleet (cache-epoch marker).
+
+        Worker profile caches are valid for exactly one run at a time;
+        interleaved runs sharing the pool (multi-tenant push sessions)
+        compare this marker and call :meth:`begin_run` on every switch, so
+        pid collisions across tenants can never resolve to stale profiles.
+        """
+        return self._owner
+
+    def begin_run(self, owner: object | None = None) -> None:
         """Reset every worker's profile cache (start of an engine run).
 
         Profile ids are only unique *within* a dataset, so caches must not
@@ -546,7 +560,11 @@ class WorkerPool:
         one-way message; the pipe's FIFO ordering makes an ack unnecessary.
         A slot whose pipe fails here is evicted alone (and respawned on
         schedule); the fleet is not condemned.
+
+        ``owner`` claims the fleet for the calling engine until the next
+        reset — the cross-run sharing epoch (see :attr:`owner`).
         """
+        self._owner = owner
         if not self.healthy:
             return
         self._maybe_respawn()

@@ -35,8 +35,19 @@ def plan_token(plan: StreamPlan) -> int:
     the stream cursor; the engines compare this token (arrival times and
     increment ids — both hash independently of ``PYTHONHASHSEED``) and
     refuse mismatched resumes.
+
+    Accepts any plan-like with ``arrival_times``/``increments`` sequences —
+    a frozen :class:`StreamPlan` or a push run's mutable
+    :class:`~repro.execution.push.PushPlan` — and produces the same token
+    for the same arrival/id content, so a push run fed a classic plan
+    fingerprints identically to ``engine.run`` over that plan.
     """
-    return hash((plan.arrival_times, tuple(increment.index for increment in plan.increments)))
+    return hash(
+        (
+            tuple(plan.arrival_times),
+            tuple(increment.index for increment in plan.increments),
+        )
+    )
 
 
 @dataclass(frozen=True, slots=True)

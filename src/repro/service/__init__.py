@@ -1,0 +1,41 @@
+"""ER-as-a-service: a multi-tenant front-end over the push-mode engines.
+
+The ROADMAP's north star is millions of users streaming profile updates;
+this package is that shape at library scale.  An asyncio
+:class:`~repro.service.server.ERServer` accepts profile increments for many
+independent tenants over a JSON-line socket protocol
+(:mod:`repro.service.protocol`), multiplexes their engine steps onto one
+shared worker fleet, and enforces per-tenant virtual budgets with admission
+control, backpressure and two-level load shedding.  Each tenant is a
+push-mode :class:`~repro.api.ERSession`
+(:mod:`repro.service.tenant`); checkpoint/restore generalizes to tenant
+snapshot/migrate.  :class:`~repro.service.client.ServiceClient` is the
+matching synchronous client.
+
+Start a server::
+
+    python -m repro.service --port 7464 --workers 4
+
+Determinism contract: a tenant's results depend only on its *accepted*
+operation sequence — never on wall-clock interleaving with other tenants —
+and replaying that sequence through a standalone session is bit-identical
+(``benchmarks/service.py`` gates this per tenant).
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import result_fingerprint, result_payload
+from repro.service.server import ERServer
+from repro.service.tenant import TenantConfig, TenantSession, TenantSnapshot
+
+__all__ = [
+    "ERServer",
+    "ServiceClient",
+    "ServiceError",
+    "TenantConfig",
+    "TenantSession",
+    "TenantSnapshot",
+    "result_fingerprint",
+    "result_payload",
+]

@@ -1,0 +1,51 @@
+"""``python -m repro.service``: run an ER service in the foreground."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve multi-tenant progressive ER over a line-protocol socket.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7464)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="shared Tier A fleet size"
+    )
+    parser.add_argument("--max-tenants", type=int, default=64)
+    parser.add_argument(
+        "--queue-limit", type=int, default=32, help="per-tenant op queue depth"
+    )
+    args = parser.parse_args(argv)
+
+    async def serve() -> None:
+        from repro.service.server import ERServer
+
+        server = ERServer(
+            args.host,
+            args.port,
+            workers=args.workers,
+            max_tenants=args.max_tenants,
+            queue_limit=args.queue_limit,
+        )
+        await server.start()
+        print(f"repro service listening on {server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_until_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

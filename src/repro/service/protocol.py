@@ -1,0 +1,178 @@
+"""The service wire protocol: JSON lines over a byte stream.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated — trivially
+debuggable with ``nc`` and language-agnostic.  Requests carry an ``op`` and
+a client-chosen ``id``; responses echo the ``id`` so clients may *pipeline*
+requests (send many before reading replies), which is what makes server-side
+backpressure and load shedding observable at all: a strictly call-response
+client can never fill an ingest queue.
+
+Response envelope: ``{"id": ..., "ok": true, ...}`` on success;
+``{"id": ..., "ok": false, "error": "<code>", "detail": "..."}`` on failure.
+Error codes are stable strings (:data:`ERR_ADMISSION`, :data:`ERR_SHED`,
+:data:`ERR_BUDGET`, ...), not prose.
+
+Profiles travel as ``{"pid": int, "source": int, "attributes":
+[[name, value], ...]}`` — the schema-agnostic shape of
+:class:`~repro.core.profile.EntityProfile`, nothing more.
+
+Determinism: :func:`result_payload` / :func:`result_fingerprint` reduce a
+:class:`~repro.execution.core.RunResult` to its host-independent surface
+(curve, duplicates, counters minus ``parallel.*`` telemetry and wall
+clocks), so two runs agree on the wire iff they agree bit-for-bit in the
+engine — the property the service's per-tenant bit-identity gate checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.profile import EntityProfile
+from repro.parallel import strip_parallel_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.execution.core import RunResult
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERR_ADMISSION",
+    "ERR_BAD_REQUEST",
+    "ERR_BUDGET",
+    "ERR_INTERNAL",
+    "ERR_SHED",
+    "ERR_UNKNOWN_TENANT",
+    "decode_line",
+    "decode_profiles",
+    "encode_line",
+    "encode_profiles",
+    "error_response",
+    "ok_response",
+    "result_fingerprint",
+    "result_payload",
+]
+
+PROTOCOL_VERSION = 1
+
+# Stable error codes (the client switches on these, never on prose).
+ERR_ADMISSION = "admission"          # tenant table full / duplicate tenant
+ERR_BAD_REQUEST = "bad-request"      # malformed op or arguments
+ERR_BUDGET = "budget"                # drain horizon beyond the tenant budget
+ERR_INTERNAL = "internal"            # unexpected server-side failure
+ERR_SHED = "shed"                    # ingest dropped by backpressure
+ERR_UNKNOWN_TENANT = "unknown-tenant"
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_line(message: dict) -> bytes:
+    """One protocol message as a JSON line (sorted keys: stable on the wire)."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line; raises ``ValueError`` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+def ok_response(request_id: object, **fields: object) -> dict:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(request_id: object, code: str, detail: str = "", **fields) -> dict:
+    return {"id": request_id, "ok": False, "error": code, "detail": detail, **fields}
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+def encode_profiles(profiles: Iterable[EntityProfile]) -> list[dict]:
+    return [
+        {
+            "pid": profile.pid,
+            "source": profile.source,
+            "attributes": [[a.name, a.value] for a in profile.attributes],
+        }
+        for profile in profiles
+    ]
+
+
+def decode_profiles(payload: Sequence[dict]) -> tuple[EntityProfile, ...]:
+    profiles = []
+    for entry in payload:
+        try:
+            profiles.append(
+                EntityProfile(
+                    int(entry["pid"]),
+                    [(str(n), str(v)) for n, v in entry.get("attributes", [])],
+                    source=int(entry.get("source", 0)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed profile payload: {entry!r}") from exc
+    return tuple(profiles)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_payload(result: "RunResult") -> dict:
+    """A run result reduced to its deterministic, JSON-serializable surface.
+
+    Drops everything host-dependent: wall clocks inside the metrics
+    snapshot and the ``parallel.*``/scatter telemetry (which describe the
+    fleet, not the resolution).  What remains is bit-identical across
+    worker counts, hosts and interleavings — the replayable contract.
+    """
+    metrics = result.details.get("metrics", {})
+    if isinstance(metrics, dict):
+        metrics = strip_parallel_telemetry(_strip_wall(metrics))
+    return {
+        "system": result.system_name,
+        "matcher": result.matcher_name,
+        "comparisons_executed": result.comparisons_executed,
+        "clock_end": result.clock_end,
+        "budget": result.budget,
+        "work_exhausted": result.work_exhausted,
+        "increments_ingested": result.increments_ingested,
+        "matches": sorted(map(list, result.duplicates)),
+        "curve": [
+            [point.time, point.comparisons, point.matches]
+            for point in result.curve.points
+        ],
+        "metrics": metrics,
+    }
+
+
+def result_fingerprint(result: "RunResult") -> str:
+    """SHA-256 over the deterministic result surface (hex digest).
+
+    Two runs share a fingerprint iff :func:`result_payload` agrees
+    byte-for-byte — the per-tenant bit-identity check of the service
+    benchmark compares these against standalone :class:`ERSession` runs.
+    """
+    payload = json.dumps(
+        result_payload(result), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _strip_wall(snapshot: dict) -> dict:
+    """Drop wall-clock fields from a metrics snapshot (host-dependent)."""
+    stripped = dict(snapshot)
+    if "phases" in stripped and isinstance(stripped["phases"], dict):
+        stripped["phases"] = {
+            name: {k: v for k, v in totals.items() if k != "wall_s"}
+            for name, totals in stripped["phases"].items()
+        }
+    if "rounds" in stripped:
+        # The bounded per-round log carries wall timings; drop it whole.
+        stripped.pop("rounds")
+    return stripped

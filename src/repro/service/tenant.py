@@ -1,0 +1,247 @@
+"""Tenant sessions: one push-mode resolution stream per tenant.
+
+A tenant is one independent incremental ER workload multiplexed onto the
+service: its own :class:`~repro.api.ERSession` (over an initially *empty*
+dataset — profiles only ever arrive through :meth:`TenantSession.ingest`),
+its own virtual clock, its own comparison budget, its own resilience knobs.
+Tenants share nothing but the executor thread and (optionally) the Tier A
+:class:`~repro.parallel.pool.WorkerPool` the server injects; the pool's
+per-run cache epochs keep interleaved tenants from ever observing each
+other's profiles.
+
+Budget model: ``TenantConfig.budget`` is the tenant's total virtual-time
+allowance, exactly the classic engine budget.  Every ingest auto-drains the
+engine to the increment's arrival time (capped at the budget), so matches
+surface progressively; an explicit :meth:`TenantSession.drain` moves the
+horizon further.  Arrivals beyond the budget are refused at admission —
+the virtual stream is over.
+
+:class:`TenantSnapshot` is checkpoint/restore (PR 2) lifted to the tenant:
+the engine checkpoint plus the fed arrival log and the tenant's
+configuration, picklable as one object.  Restoring on any server (or the
+same one after a restart) resumes the stream bit-identically — the
+migration path behind zero-downtime restarts.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.api import ERSession, EngineOptions, PushSession
+from repro.core.dataset import Dataset, ERKind, GroundTruth
+from repro.core.increments import Increment
+from repro.core.profile import EntityProfile
+from repro.resilience.checkpoint import EngineCheckpoint
+from repro.resilience.retry import ResilienceConfig
+
+__all__ = ["TenantConfig", "TenantSession", "TenantSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class TenantConfig:
+    """Everything that defines one tenant's resolution workload.
+
+    ``budget`` is the tenant's total virtual-time allowance (the classic
+    engine budget).  ``shed_watermark`` is the *engine-level* shed knob
+    (oldest due increments dropped beyond the backlog watermark) — distinct
+    from the server's queue-level shedding, which drops ingest *requests*
+    before they reach the engine.  ``kind`` selects Dirty vs Clean-Clean
+    candidate generation for the arriving profiles.
+    """
+
+    tenant_id: str
+    system: str = "I-PES"
+    matcher: str = "JS"
+    budget: float = 300.0
+    kind: str = "dirty"
+    pipelined: bool = False
+    shed_watermark: int | None = None
+    checkpoint_every: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.kind not in ("dirty", "clean-clean"):
+            raise ValueError(f"kind must be 'dirty' or 'clean-clean', got {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class TenantSnapshot:
+    """A migratable cut of one tenant: config + arrivals + engine checkpoint.
+
+    ``arrivals`` is the full fed log (arrival time, increment) up to the
+    cut — re-fed on restore so the checkpoint's plan fingerprint matches —
+    and ``horizon`` the last drain horizon, re-applied after restore so the
+    resumed run continues from the same virtual position.
+    """
+
+    config: TenantConfig
+    checkpoint: EngineCheckpoint | None
+    arrivals: tuple[tuple[float, Increment], ...]
+    horizon: float | None
+    next_index: int
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TenantSnapshot":
+        snapshot = pickle.loads(blob)
+        if not isinstance(snapshot, cls):
+            raise ValueError(f"not a TenantSnapshot: {type(snapshot).__name__}")
+        return snapshot
+
+
+def _empty_dataset(config: TenantConfig) -> Dataset:
+    """The tenant's seed dataset: no profiles, empty ground truth.
+
+    The service never knows ground truth — `pair_completeness` over an
+    empty truth set is defined as 1.0, and result quality is evaluated by
+    the *caller* against whatever truth they hold (as the benchmark does).
+    """
+    kind = ERKind.DIRTY if config.kind == "dirty" else ERKind.CLEAN_CLEAN
+    return Dataset(f"tenant:{config.tenant_id}", (), GroundTruth(), kind)
+
+
+class TenantSession:
+    """One tenant's live push-mode run inside the service.
+
+    Not thread-safe by itself: the server funnels every engine-touching
+    call through its single drain executor, which is also what serializes
+    shared-pool access across tenants.
+    """
+
+    def __init__(
+        self,
+        config: TenantConfig,
+        *,
+        workers: int = 1,
+        pool: object | None = None,
+        snapshot: TenantSnapshot | None = None,
+    ) -> None:
+        self.config = config
+        resilience = None
+        if config.shed_watermark is not None:
+            resilience = ResilienceConfig(shed_watermark=config.shed_watermark)
+        self._session = ERSession(
+            _empty_dataset(config),
+            systems=(config.system,),
+            matcher=config.matcher,
+            engine=EngineOptions(pipelined=config.pipelined, workers=workers),
+            budget=config.budget,
+            checkpoint_every=config.checkpoint_every,
+            resilience=resilience,
+            pool=pool,
+        )
+        self._arrivals: list[tuple[float, Increment]] = []
+        #: Ops accepted by admission, in order — replaying this log through
+        #: a fresh TenantSession reproduces the run bit-identically.
+        self.ingests_accepted = 0
+        self.ingests_shed = 0
+        self.drains = 0
+        if snapshot is None:
+            self._push: PushSession = self._session.push(config.system)
+        else:
+            self._push = self._session.push(
+                config.system,
+                resume_from=snapshot.checkpoint,
+                adopt_checkpoint_budget=True,
+            )
+            for at, increment in snapshot.arrivals:
+                self._push.feed(increment, at=at)
+                self._arrivals.append((at, increment))
+            # Each logged arrival was one accepted ingest of the original
+            # tenant; the counter carries over with the log.
+            self.ingests_accepted = len(self._arrivals)
+            # Bind the checkpoint to exactly these arrivals before any new
+            # feeds can grow the plan past its fingerprint.
+            self._push.start()
+            if snapshot.horizon is not None:
+                self._push.drain(snapshot.horizon)
+
+    # ------------------------------------------------------------------
+    # The push surface, budget-guarded
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        return self._push.clock
+
+    @property
+    def horizon(self) -> float | None:
+        return self._push.horizon
+
+    @property
+    def finished(self) -> bool:
+        return self._push.finished
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the virtual allowance is used up (no further arrivals)."""
+        horizon = self._push.horizon
+        return horizon is not None and horizon >= self.config.budget
+
+    def ingest(self, profiles: Sequence[EntityProfile], at: float | None = None) -> float:
+        """Feed one increment and auto-drain to its arrival time.
+
+        Raises ``ValueError`` when ``at`` lies beyond the tenant budget
+        (the stream's virtual window is over) or regresses — admission
+        control at the tenant boundary, before any engine work.
+        Returns the recorded arrival time.
+        """
+        budget = self.config.budget
+        if at is not None and at > budget:
+            raise ValueError(
+                f"arrival at t={at} is beyond the tenant budget {budget}"
+            )
+        recorded = self._push.ingest(profiles, at=at)
+        self._arrivals.append((recorded, self._last_increment()))
+        self.ingests_accepted += 1
+        # Progressive surfacing: advance the engine to the arrival so due
+        # comparisons execute now, not at the next explicit drain.
+        target = min(max(recorded, self._push.horizon or 0.0), budget)
+        if target > 0.0 and target > (self._push.horizon or 0.0):
+            self._push.drain(target)
+        return recorded
+
+    def drain(self, until: float) -> float:
+        """Advance the tenant's virtual clock to ``until`` (≤ budget)."""
+        if until > self.config.budget:
+            raise ValueError(
+                f"drain horizon {until} exceeds the tenant budget {self.config.budget}"
+            )
+        clock = self._push.drain(until)
+        self.drains += 1
+        return clock
+
+    def matches(self) -> frozenset[tuple[int, int]]:
+        return self._push.matches
+
+    @property
+    def comparisons_executed(self) -> int:
+        return self._push.comparisons_executed
+
+    def results(self):
+        """Finalize the tenant's run (terminal)."""
+        return self._push.results()
+
+    def snapshot(self) -> TenantSnapshot:
+        """A migratable cut of this tenant (taken between operations)."""
+        return TenantSnapshot(
+            config=self.config,
+            checkpoint=self._push.checkpoint(),
+            arrivals=tuple(self._arrivals),
+            horizon=self._push.horizon,
+            next_index=self._push.increments_fed,
+        )
+
+    def close(self) -> None:
+        self._session.close()
+
+    # ------------------------------------------------------------------
+    def _last_increment(self) -> Increment:
+        # PushSession appended the increment to the underlying plan.
+        return self._push._run.plan.increments[-1]

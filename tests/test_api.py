@@ -213,9 +213,42 @@ def test_session_close_is_reentrant(dataset):
     session.close()
 
 
+def test_use_after_close_raises_at_the_facade(dataset):
+    session = _session(dataset)
+    session.close()
+    assert session.closed
+    with pytest.raises(RuntimeError, match="closed"):
+        session.run()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.compare()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.push()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.ingest(dataset.profiles[:2])
+    with pytest.raises(RuntimeError, match="closed"):
+        session.drain(1.0)
+    with pytest.raises(RuntimeError, match="closed"):
+        session.results()
+    with pytest.raises(RuntimeError, match="closed"):
+        with session:
+            pass  # pragma: no cover - enter must refuse
+
+
 # ----------------------------------------------------------------------
 # Deprecation shims
 # ----------------------------------------------------------------------
+def test_deprecated_names_dropped_from_package_roots():
+    """The shims live only in ``repro.evaluation.experiments`` now."""
+    import repro
+    import repro.evaluation
+
+    for name in ("make_matcher", "make_system", "run_experiment"):
+        assert not hasattr(repro, name)
+        assert name not in repro.__all__
+        assert not hasattr(repro.evaluation, name)
+        assert name not in repro.evaluation.__all__
+
+
 def test_make_matcher_shim_warns():
     with pytest.warns(DeprecationWarning, match="ERSession"):
         matcher = make_matcher("JS")

@@ -1,0 +1,365 @@
+"""Tests for the multi-tenant ER service (``repro.service``).
+
+The service's load-bearing guarantee is the determinism contract: a
+tenant's results depend only on its accepted operation sequence, never on
+how tenants interleave on the shared fleet or on socket scheduling.
+Pinned here:
+
+* two push-mode sessions interleaved op-by-op on one shared ``WorkerPool``
+  produce results *and checkpoint fingerprints* bit-identical to solo
+  runs (the pool's cache-epoch re-claim in action);
+* ``TenantSession`` budget admission, accepted-log replay identity, and
+  snapshot/restore migration;
+* the server end-to-end over a localhost socket: protocol round-trips,
+  per-tenant fingerprints matching standalone replays, admission/refusal
+  codes, queue-level shedding under a pipelined burst, snapshot/migrate
+  across tenants, and clean shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.api import ERSession
+from repro.core.profile import EntityProfile
+from repro.evaluation.experiments import _build_matcher
+from repro.parallel import WorkerPool, strip_parallel_telemetry
+from repro.service import (
+    ERServer,
+    ServiceClient,
+    ServiceError,
+    TenantConfig,
+    TenantSession,
+    TenantSnapshot,
+    result_fingerprint,
+)
+
+BUDGET = 8.0
+
+
+def _profile(pid: int, text: str) -> EntityProfile:
+    return EntityProfile(pid, {"value": text})
+
+
+def _batches() -> list[list[EntityProfile]]:
+    """Three small dirty-ER batches with duplicates across batches."""
+    return [
+        [
+            _profile(0, "alice smith springfield"),
+            _profile(1, "bob jones riverton"),
+        ],
+        [
+            _profile(2, "alice smith springfeld"),
+            _profile(3, "carol white kingston"),
+        ],
+        [
+            _profile(4, "bob jones riverton north"),
+            _profile(5, "alice m smith springfield"),
+        ],
+    ]
+
+
+def _drive_tenant(session: TenantSession) -> str:
+    for i, batch in enumerate(_batches()):
+        session.ingest(batch, at=float(i))
+    session.drain(BUDGET)
+    fingerprint = result_fingerprint(session.results())
+    session.close()
+    return fingerprint
+
+
+# ----------------------------------------------------------------------
+# Interleaved push sessions on one shared pool
+# ----------------------------------------------------------------------
+def _comparable(result):
+    metrics = strip_parallel_telemetry(result.details["metrics"])
+    metrics["phases"] = {
+        phase: {key: value for key, value in totals.items() if key != "wall_s"}
+        for phase, totals in metrics["phases"].items()
+    }
+    metrics.pop("rounds", None)
+    return {
+        "curve": result.curve.points,
+        "duplicates": result.duplicates,
+        "comparisons_executed": result.comparisons_executed,
+        "clock_end": result.clock_end,
+        "metrics": metrics,
+    }
+
+
+def _checkpoint_fingerprint(checkpoint):
+    state = dict(checkpoint.metrics_state)
+    state["phases"] = {
+        name: (virtual_s, count)
+        for name, (virtual_s, _wall_s, count) in state["phases"].items()
+    }
+    return (
+        checkpoint.engine,
+        checkpoint.budget,
+        checkpoint.plan_fingerprint,
+        checkpoint.clock,
+        checkpoint.duplicates,
+        checkpoint.recorder_state,
+        checkpoint.estimator_state,
+        state,
+    )
+
+
+def test_interleaved_push_sessions_share_one_pool(small_dblp_acm):
+    """Two tenants alternating on one WorkerPool == their solo runs."""
+    pool = WorkerPool.create(2, _build_matcher("JS"), min_shard=1)
+    if pool is None:
+        pytest.skip("process pool unavailable on this host")
+    systems = ("I-PES", "I-PCS")
+    horizons = (2.0, 4.0, 6.0, BUDGET)
+
+    def open_push(system):
+        session = ERSession(
+            small_dblp_acm,
+            systems=(system,),
+            matcher="JS",
+            n_increments=8,
+            rate=5.0,
+            budget=BUDGET,
+            workers=2,
+            pool=pool,
+        )
+        push = session.push()
+        push.feed_plan(session.plan_for(system))
+        return session, push
+
+    try:
+        solo = {}
+        for system in systems:
+            session, push = open_push(system)
+            for horizon in horizons:
+                push.drain(horizon)
+            solo[system] = (
+                _checkpoint_fingerprint(push.checkpoint()),
+                _comparable(push.results()),
+            )
+            session.close()
+
+        sessions = {system: open_push(system) for system in systems}
+        # Interleave op-by-op: every drain of one tenant lands between two
+        # drains of the other, so each re-claims the fleet's cache epoch.
+        for horizon in horizons:
+            for system in systems:
+                sessions[system][1].drain(horizon)
+        for system in systems:
+            session, push = sessions[system]
+            interleaved = (
+                _checkpoint_fingerprint(push.checkpoint()),
+                _comparable(push.results()),
+            )
+            assert interleaved == solo[system], system
+            session.close()
+
+        # Sessions never close a borrowed pool.
+        assert pool.healthy
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# TenantSession: admission, replay identity, migration
+# ----------------------------------------------------------------------
+def test_tenant_budget_admission():
+    session = TenantSession(TenantConfig(tenant_id="t", budget=BUDGET))
+    try:
+        with pytest.raises(ValueError, match="beyond the tenant budget"):
+            session.ingest(_batches()[0], at=BUDGET + 1.0)
+        with pytest.raises(ValueError, match="exceeds the tenant budget"):
+            session.drain(BUDGET + 1.0)
+        assert session.ingests_accepted == 0
+    finally:
+        session.close()
+
+
+def test_tenant_accepted_log_replay_is_bit_identical():
+    config = TenantConfig(tenant_id="t", budget=BUDGET)
+    original = TenantSession(config)
+    batches = _batches()
+    original.ingest(batches[0], at=0.0)
+    original.matches()  # introspection must not perturb the run
+    original.ingest(batches[1], at=1.0)
+    original.snapshot()
+    original.ingest(batches[2], at=2.0)
+    original.drain(BUDGET)
+    fingerprint = result_fingerprint(original.results())
+    original.close()
+
+    replay = TenantSession(config)
+    for i, batch in enumerate(batches):
+        replay.ingest(batch, at=float(i))
+    replay.drain(BUDGET)
+    assert result_fingerprint(replay.results()) == fingerprint
+    replay.close()
+
+
+def test_tenant_snapshot_restore_is_bit_identical():
+    config = TenantConfig(tenant_id="t", budget=BUDGET)
+    batches = _batches()
+
+    uninterrupted = TenantSession(config)
+    expected = _drive_tenant(uninterrupted)
+
+    migrating = TenantSession(config)
+    migrating.ingest(batches[0], at=0.0)
+    migrating.ingest(batches[1], at=1.0)
+    blob = migrating.snapshot().to_bytes()
+    migrating.close()
+
+    restored = TenantSession(config, snapshot=TenantSnapshot.from_bytes(blob))
+    assert restored.ingests_accepted == 2
+    restored.ingest(batches[2], at=2.0)
+    restored.drain(BUDGET)
+    assert result_fingerprint(restored.results()) == expected
+    restored.close()
+
+
+# ----------------------------------------------------------------------
+# The server over a localhost socket
+# ----------------------------------------------------------------------
+class _ServerThread:
+    """An ERServer event loop in a daemon thread (clients block normally)."""
+
+    def __init__(self, **kwargs: object) -> None:
+        self._kwargs = kwargs
+        self._port_queue: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        ready = self._port_queue.get(timeout=30)
+        if isinstance(ready, BaseException):
+            raise ready
+        self.port = ready
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._thread.join(timeout=60)
+        assert not self._thread.is_alive(), "server did not shut down cleanly"
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:
+            self._port_queue.put(exc)
+
+    async def _serve(self) -> None:
+        async with ERServer(**self._kwargs) as server:
+            self._port_queue.put(server.port)
+            await server.serve_until_stopped()
+
+
+def test_server_end_to_end_bit_identical_to_standalone():
+    config = TenantConfig(tenant_id="t1", budget=BUDGET)
+    with _ServerThread() as server:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.ping()["version"] == 1
+            client.open("t1", system=config.system, budget=BUDGET)
+            for i, batch in enumerate(_batches()):
+                reply = client.ingest("t1", batch, at=float(i))
+                assert reply["at"] == float(i)
+            observed = client.matches("t1")
+            assert observed["matches"] == sorted(observed["matches"])
+            client.drain("t1", BUDGET)
+            reply = client.results("t1")
+            stats = client.stats()
+            assert "t1" in stats["tenants"]
+            counters = stats["metrics"]["counters"]
+            assert counters["service.tenant.opened"] == 1
+            assert counters["service.tenant.ingests"] == 3
+            client.close_tenant("t1")
+            assert client.stats()["tenants"] == []
+            client.shutdown()
+
+    standalone = TenantSession(config)
+    assert _drive_tenant(standalone) == reply["fingerprint"]
+    assert len(reply["result"]["matches"]) > 0
+
+
+def test_server_snapshot_migration_between_servers():
+    config = TenantConfig(tenant_id="mig", budget=BUDGET)
+    uninterrupted = TenantSession(config)
+    expected = _drive_tenant(uninterrupted)
+    batches = _batches()
+
+    with _ServerThread() as first:
+        with ServiceClient("127.0.0.1", first.port) as client:
+            client.open("mig", budget=BUDGET)
+            client.ingest("mig", batches[0], at=0.0)
+            client.ingest("mig", batches[1], at=1.0)
+            blob = client.snapshot("mig")
+            client.shutdown()
+
+    with _ServerThread() as second:
+        with ServiceClient("127.0.0.1", second.port) as client:
+            restored = client.restore("mig", blob)
+            assert restored["ingested"] == 2
+            client.ingest("mig", batches[2], at=2.0)
+            client.drain("mig", BUDGET)
+            reply = client.results("mig")
+            client.shutdown()
+    assert reply["fingerprint"] == expected
+
+
+def test_server_refusal_codes():
+    with _ServerThread(max_tenants=1) as server:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.open("only", budget=BUDGET)
+            with pytest.raises(ServiceError) as exc:
+                client.open("only", budget=BUDGET)
+            assert exc.value.code == "admission"
+            with pytest.raises(ServiceError) as exc:
+                client.open("other", budget=BUDGET)
+            assert exc.value.code == "admission"
+            with pytest.raises(ServiceError) as exc:
+                client.drain("ghost", 1.0)
+            assert exc.value.code == "unknown-tenant"
+            with pytest.raises(ServiceError) as exc:
+                client.drain("only", BUDGET * 2)
+            assert exc.value.code == "budget"
+            with pytest.raises(ServiceError) as exc:
+                client.call("frobnicate")
+            assert exc.value.code == "bad-request"
+            client.shutdown()
+
+
+def test_server_sheds_ingests_under_pipelined_burst():
+    batches = _batches()
+    with _ServerThread(queue_limit=1) as server:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.open("burst", budget=BUDGET)
+            pending = [
+                client.send_ingest("burst", batches[i % 3], at=float(i) / 4.0)
+                for i in range(24)
+            ]
+            replies = [client.wait(rid, check=False) for rid in pending]
+            accepted = [r for r in replies if r.get("ok")]
+            shed = [r for r in replies if r.get("error") == "shed"]
+            assert len(accepted) + len(shed) == len(replies)
+            assert shed, "pipelined burst against queue_limit=1 never shed"
+            for reply in shed:
+                assert "queue_depth" in reply
+            # The server survived and the tenant still finalizes cleanly.
+            client.drain("burst", BUDGET)
+            reply = client.results("burst")
+            counters = client.stats()["metrics"]["counters"]
+            assert counters["service.tenant.shed"] == len(shed)
+            client.shutdown()
+
+    # Replies are in send order; replaying only the accepted subset
+    # standalone must reproduce the service result bit-for-bit.
+    replay = TenantSession(TenantConfig(tenant_id="burst", budget=BUDGET))
+    for i, r in enumerate(replies):
+        if r.get("ok"):
+            replay.ingest(batches[i % 3], at=r["at"])
+    replay.drain(BUDGET)
+    assert result_fingerprint(replay.results()) == reply["fingerprint"]
+    replay.close()
